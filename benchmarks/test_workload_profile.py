@@ -1,0 +1,47 @@
+"""Extension bench — engine-benchmarking workload profile fidelity.
+
+Not a paper table/figure: §I motivates synthetic graphs as engine
+benchmark instances; this bench checks the premise by running one
+Zipf-skewed query workload on the private graph and on the VRDAG twin
+and comparing the per-class mean result cardinalities.  A faithful
+twin keeps each class's cardinality within a small factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments as E
+
+from benchmarks.conftest import BENCH_EPOCHS, BENCH_SCALES, format_table, record
+
+
+@pytest.mark.parametrize("dataset", ["email", "gdelt"])
+def test_workload_profile(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: E.run_workload_profile(
+            dataset, scale=BENCH_SCALES[dataset], seed=0, epochs=BENCH_EPOCHS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    classes = sorted(result["private"])
+    rows = []
+    for cls in classes:
+        orig = result["private"][cls]
+        syn = result["synthetic"].get(cls, float("nan"))
+        ratio = syn / orig if orig else float("nan")
+        rows.append([cls, f"{orig:.2f}", f"{syn:.2f}", f"{ratio:.2f}"])
+    record(
+        f"workload_profile_{dataset}",
+        format_table(
+            f"Extension — workload result-cardinality profile ({dataset})",
+            ["query class", "private", "synthetic", "ratio"],
+            rows,
+        ),
+    )
+    # point-lookup and traversal classes must stay within a small factor
+    for cls in ("out_neighbors", "two_hop"):
+        orig = result["private"].get(cls)
+        syn = result["synthetic"].get(cls)
+        if orig and syn:
+            assert 0.2 < syn / orig < 5.0

@@ -1,0 +1,53 @@
+"""Fraud-detection data augmentation (the paper's §I motivation).
+
+Financial transaction graphs cannot leave the institution; a synthetic
+twin that preserves the co-evolution of topology and node profiles can.
+This example trains VRDAG on the guaranteed-loan network twin, generates
+a shareable synthetic sequence, and shows that a downstream
+co-evolution forecaster (CoEvoGNN) trained with the synthetic data as
+augmentation improves future-snapshot prediction — the Fig. 10 case
+study end to end.
+
+Run:  python examples/fraud_detection_augmentation.py
+"""
+
+from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.datasets import load_dataset
+from repro.downstream import evaluate_augmentation
+from repro.metrics import spearman_correlation_mae
+
+
+def main() -> None:
+    # The proprietary guaranteed-loan network is simulated by its twin
+    # (see DESIGN.md §4): directed guarantor->borrower edges, sparse,
+    # no reciprocity, two co-evolving node attributes.
+    graph = load_dataset("guarantee", scale=0.02, seed=0)
+    print(f"'private' loan network: {graph}")
+
+    config = VRDAGConfig(
+        num_nodes=graph.num_nodes,
+        num_attributes=graph.num_attributes,
+        hidden_dim=24, latent_dim=12, encode_dim=24, seed=0,
+    )
+    model = VRDAG(config)
+    VRDAGTrainer(model, TrainConfig(epochs=20)).fit(graph)
+    synthetic = model.generate(graph.num_timesteps, seed=7)
+    print(f"shareable synthetic twin: {synthetic}")
+
+    # privacy-motivated sanity check: the synthetic graph preserves the
+    # population-level attribute correlation structure without copying
+    # any individual node's trajectory
+    corr_err = spearman_correlation_mae(graph, synthetic)
+    print(f"attribute-correlation MAE vs source: {corr_err:.4f}")
+
+    # downstream utility: forecast the final snapshot with/without the
+    # synthetic sequence as augmentation
+    base = evaluate_augmentation(graph, None, epochs=30, seed=0)
+    augmented = evaluate_augmentation(graph, synthetic, epochs=30, seed=0)
+    print("future-snapshot forecasting (CoEvoGNN):")
+    print(f"  no augmentation     F1={base.f1:.4f}  RMSE={base.rmse:.4f}")
+    print(f"  VRDAG augmentation  F1={augmented.f1:.4f}  RMSE={augmented.rmse:.4f}")
+
+
+if __name__ == "__main__":
+    main()

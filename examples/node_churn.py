@@ -1,0 +1,75 @@
+"""Node addition/deletion (§III-H extension): generate a sequence whose
+node universe churns over time.
+
+The base VRDAG fixes the node universe; the :class:`NodeDynamicsWrapper`
+adds the paper's extension — nodes isolated for ``T_del`` consecutive
+generated snapshots are retired, and fresh nodes arrive at the rate
+observed in the training data with hidden states sampled from the
+parameterized ``p_ω`` conditioned on the mean graph state.
+
+Run:  python examples/node_churn.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    NodeDynamicsWrapper,
+    TrainConfig,
+    VRDAG,
+    VRDAGConfig,
+    VRDAGTrainer,
+)
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    # 1. Train on a twin of the Emails-DNC network — dense enough that
+    #    per-snapshot isolation is a meaningful deletion signal.
+    graph = load_dataset("email", scale=0.05, seed=0)
+    print(f"observed graph: {graph}")
+
+    config = VRDAGConfig(
+        num_nodes=graph.num_nodes,
+        num_attributes=graph.num_attributes,
+        hidden_dim=16,
+        latent_dim=8,
+        encode_dim=16,
+        seed=0,
+    )
+    model = VRDAG(config)
+    VRDAGTrainer(model, TrainConfig(epochs=15)).fit(graph)
+
+    # 2. Fit the churn layer: learns the arrival rate and the p_ω
+    #    hidden-state sampler for newly added nodes from the observed
+    #    sequence (§III-H proposes training this predictor).
+    wrapper = NodeDynamicsWrapper(model, deletion_threshold=4).fit(graph)
+    print(f"fitted node arrival rate: {wrapper.arrival_rate:.2f} nodes/step")
+
+    # 3. Generate with only 60% of the universe active at t=0; watch the
+    #    active population evolve.
+    start_active = int(0.6 * graph.num_nodes)
+    synthetic, masks = wrapper.generate(
+        num_timesteps=graph.num_timesteps,
+        initial_active=start_active,
+        seed=7,
+    )
+    print(f"synthetic graph: {synthetic}")
+    print("active nodes per timestep:")
+    for t, mask in enumerate(masks):
+        bar = "#" * int(40 * mask.sum() / graph.num_nodes)
+        print(f"  t={t:2d}  {int(mask.sum()):4d}  {bar}")
+
+    arrivals = np.diff(masks.sum(axis=1).astype(int))
+    print(f"net population change per step: {arrivals.tolist()}")
+    print(
+        "edges never touch inactive nodes:",
+        all(
+            synthetic[t].adjacency[~masks[t]].sum() == 0
+            and synthetic[t].adjacency[:, ~masks[t]].sum() == 0
+            for t in range(synthetic.num_timesteps)
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

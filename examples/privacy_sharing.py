@@ -1,0 +1,72 @@
+"""Privacy-preserving data sharing (paper motivation #3): release a
+synthetic twin of a sensitive financial network instead of the raw data.
+
+A bank cannot ship its guaranteed-loan network (§I): node identities,
+link relationships and attribute profiles are all confidential.  The
+VRDAG recipe is to train on the private sequence, generate a synthetic
+sequence that preserves the distributional profile, verify fidelity
+with the paper's metric suite, and release only the synthetic file plus
+the fidelity report.
+
+Run:  python examples/privacy_sharing.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import load_dataset
+from repro.eval import make_vrdag
+from repro.eval.reporting import markdown_table, nested_dict_table
+from repro.graph import io as graph_io
+from repro.metrics import (
+    attribute_jsd,
+    privacy_report,
+    spearman_correlation_mae,
+    structure_metric_table,
+)
+
+
+def main() -> None:
+    # 1. The "private" network (guaranteed-loan twin).
+    private = load_dataset("guarantee", scale=0.02, seed=0)
+    print(f"private network (never leaves the bank): {private}")
+
+    # 2. Train the generator and synthesize the releasable twin.
+    generator = make_vrdag(epochs=20, seed=0).fit(private)
+    synthetic = generator.generate(private.num_timesteps, seed=99)
+    print(f"synthetic release candidate: {synthetic}")
+
+    # 3. Fidelity report: structure + attribute metrics.
+    fidelity = structure_metric_table(private, synthetic)
+    fidelity["attr_jsd"] = attribute_jsd(private, synthetic)
+    fidelity["spearman_mae"] = spearman_correlation_mae(private, synthetic)
+    header, rows = nested_dict_table({"VRDAG twin": fidelity})
+    print("\nfidelity report (lower is better):")
+    print(markdown_table(header, rows))
+
+    # 4. Leakage audit: edge memorization vs chance, attribute-row
+    #    replay, and degree-fingerprint re-identification.
+    leakage = privacy_report(private, synthetic)
+    print("\nleakage audit:")
+    print(
+        f"  edge overlap {leakage['edge_overlap']:.4f} "
+        f"(chance level {leakage['chance_overlap']:.4f})"
+    )
+    print(
+        f"  attribute NN distance {leakage['attr_nn_distance']:.3f} "
+        f"(≈1 healthy, ≪1 = training rows replayed)"
+    )
+    print(
+        f"  degree-fingerprint overlap {leakage['degree_fp_overlap']:.4f}"
+    )
+
+    # 5. Release: persist only the synthetic graph.
+    out = Path(tempfile.gettempdir()) / "guarantee_synthetic.npz"
+    graph_io.save(synthetic, out)
+    reloaded = graph_io.load(out)
+    assert reloaded == synthetic
+    print(f"released synthetic dataset: {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: train VRDAG on a dynamic attributed graph and generate a
+synthetic twin.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.datasets import load_dataset
+from repro.metrics import attribute_jsd, structure_metric_table
+
+
+def main() -> None:
+    # 1. Load a dataset twin (Emails-DNC profile at 3% scale).
+    graph = load_dataset("email", scale=0.03, seed=0)
+    print(f"observed graph: {graph}")
+
+    # 2. Configure and train the model (Eq. 14's step-wise ELBO).
+    config = VRDAGConfig(
+        num_nodes=graph.num_nodes,
+        num_attributes=graph.num_attributes,
+        hidden_dim=24,
+        latent_dim=12,
+        encode_dim=24,
+        mixture_components=3,
+        seed=0,
+    )
+    model = VRDAG(config)
+    print(f"model parameters: {model.num_parameters()}")
+    result = VRDAGTrainer(model, TrainConfig(epochs=25, verbose=False)).fit(graph)
+    print(
+        f"trained {result.epochs_run} epochs in {result.train_seconds:.1f}s, "
+        f"loss {result.loss_history[0]:.2f} -> {result.final_loss:.2f}"
+    )
+
+    # 3. Generate a fresh dynamic attributed graph (Algorithm 1).
+    synthetic = model.generate(num_timesteps=graph.num_timesteps, seed=1)
+    print(f"synthetic graph: {synthetic}")
+
+    # 4. Evaluate fidelity with the paper's metric suite.
+    table = structure_metric_table(graph, synthetic)
+    print("structure metrics (lower is better):")
+    for name, value in table.items():
+        print(f"  {name:>14s}: {value:.4f}")
+    print(f"attribute JSD: {attribute_jsd(graph, synthetic):.4f}")
+
+
+if __name__ == "__main__":
+    main()

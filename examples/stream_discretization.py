@@ -1,0 +1,87 @@
+"""Continuous-time streams: how the snapshot discretization policy
+shapes what a dynamic-graph generator learns.
+
+The paper's datasets are natively continuous-time interaction streams;
+the evaluation buckets them into T snapshots with uniform time windows.
+This example builds a bursty stream, discretizes it under three
+policies (uniform, equal-count, session), and shows the per-snapshot
+density profile each policy hands to the generator — then trains VRDAG
+on the uniform view and generates a synthetic stream back.
+
+Run:  python examples/stream_discretization.py
+"""
+
+import numpy as np
+
+from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.graph.streams import (
+    InteractionStream,
+    discretize,
+    equal_count_windows,
+    session_windows,
+    snapshot_density_profile,
+    to_stream,
+    uniform_windows,
+)
+
+
+def build_bursty_stream(n: int = 60, seed: int = 0) -> InteractionStream:
+    """Three activity bursts with quiet gaps — email-like traffic."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for burst_start in (0.0, 40.0, 47.0):
+        times = burst_start + rng.exponential(0.08, size=220).cumsum()
+        hubs = rng.integers(0, 8, size=len(times))  # heavy-tailed senders
+        dsts = rng.integers(0, n, size=len(times))
+        for t, u, v in zip(times, hubs, dsts):
+            if u != v:
+                events.append((int(u), int(v), float(t)))
+    return InteractionStream(n, events)
+
+
+def main() -> None:
+    stream = build_bursty_stream()
+    print(f"stream: {stream}")
+    t_len = 10
+
+    # 1. Compare discretization policies on the bursty stream.
+    for name, policy in [
+        ("uniform", uniform_windows),
+        ("equal-count", equal_count_windows),
+        ("session", session_windows),
+    ]:
+        graph = discretize(stream, t_len, policy)
+        profile = snapshot_density_profile(graph)
+        bars = "  ".join(f"{int(c):4d}" for c in profile)
+        print(f"{name:>12s} edges/snapshot: {bars}  (std={profile.std():.1f})")
+
+    # 2. Train VRDAG on the uniform view (the paper's setting).
+    graph = discretize(stream, t_len, uniform_windows)
+    config = VRDAGConfig(
+        num_nodes=graph.num_nodes,
+        num_attributes=0,
+        hidden_dim=16,
+        latent_dim=8,
+        encode_dim=16,
+        seed=0,
+    )
+    model = VRDAG(config)
+    result = VRDAGTrainer(model, TrainConfig(epochs=15)).fit(graph)
+    print(f"trained: loss {result.loss_history[0]:.2f} -> {result.final_loss:.2f}")
+
+    # 3. Generate and expand back into a continuous-time stream view.
+    synthetic = model.generate(t_len, seed=1)
+    synthetic_stream = to_stream(
+        synthetic, window=stream.statistics().time_span / t_len,
+        rng=np.random.default_rng(2),
+    )
+    print(f"synthetic stream: {synthetic_stream}")
+    orig = snapshot_density_profile(graph)
+    gen = snapshot_density_profile(synthetic)
+    print("density profile (original vs synthetic):")
+    for t in range(t_len):
+        print(f"  t={t}  {int(orig[t]):4d}  vs  {int(gen[t]):4d}")
+
+
+if __name__ == "__main__":
+    main()

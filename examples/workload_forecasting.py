@@ -1,0 +1,68 @@
+"""Workload forecasting with conditional generation.
+
+A platform team has observed T snapshots of their interaction graph and
+wants plausible *futures* to capacity-test against.  This example
+trains VRDAG on the full history, then uses
+:func:`repro.core.continue_sequence` to roll the model forward beyond
+the observed horizon, conditioned on the real prefix — producing
+several alternative futures whose statistics can be compared.
+
+Run:  python examples/workload_forecasting.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    TrainConfig,
+    VRDAG,
+    VRDAGConfig,
+    VRDAGTrainer,
+    continue_sequence,
+)
+from repro.datasets import load_dataset
+from repro.metrics import attribute_autocorrelation
+
+
+def main() -> None:
+    history = load_dataset("gdelt", scale=0.015, seed=0)
+    print(f"observed history: {history}")
+
+    config = VRDAGConfig(
+        num_nodes=history.num_nodes,
+        num_attributes=history.num_attributes,
+        hidden_dim=24, latent_dim=12, encode_dim=24, seed=0,
+    )
+    model = VRDAG(config)
+    VRDAGTrainer(model, TrainConfig(epochs=15)).fit(history)
+
+    horizon = 6
+    print(f"\nthree alternative {horizon}-step futures:")
+    futures = []
+    for seed in range(3):
+        future = continue_sequence(model, history, horizon=horizon, seed=seed)
+        futures.append(future)
+        edges = [s.num_edges for s in future]
+        print(
+            f"  seed={seed}: edges/step {edges} "
+            f"attr-mean drift {future[-1].attributes.mean() - future[0].attributes.mean():+.3f}"
+        )
+
+    # futures differ (they are alternative scenarios)...
+    assert futures[0] != futures[1]
+    # ...but share the history's temporal character
+    hist_ac = attribute_autocorrelation(history)
+    fut_ac = attribute_autocorrelation(futures[0])
+    print(
+        f"\nattribute autocorrelation: history={hist_ac:.3f} "
+        f"future={fut_ac:.3f}"
+    )
+
+    # stress scenario: what if the future is 3x longer than the history?
+    long_future = continue_sequence(
+        model, history, horizon=history.num_timesteps * 2, seed=9
+    )
+    print(f"long-range scenario: {long_future}")
+
+
+if __name__ == "__main__":
+    main()

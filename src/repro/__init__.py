@@ -1,0 +1,30 @@
+"""VRDAG reproduction: Efficient Dynamic Attributed Graph Generation.
+
+Full from-scratch Python implementation of the ICDE 2025 paper,
+including the numpy autodiff/NN substrate, the VRDAG model, six
+baseline generators, the metric suite and the evaluation harness.
+
+Quickstart
+----------
+>>> from repro import datasets, core
+>>> graph = datasets.load_dataset("email", scale=0.03, seed=0)
+>>> cfg = core.VRDAGConfig(num_nodes=graph.num_nodes,
+...                        num_attributes=graph.num_attributes)
+>>> model = core.VRDAG(cfg)
+>>> core.VRDAGTrainer(model).fit(graph)
+>>> synthetic = model.generate(num_timesteps=graph.num_timesteps)
+"""
+
+__version__ = "1.0.0"
+
+from repro import autodiff, nn, graph, datasets, metrics, workloads
+
+__all__ = [
+    "autodiff",
+    "nn",
+    "graph",
+    "datasets",
+    "metrics",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the substrate that replaces PyTorch for the VRDAG
+reproduction.  It provides a :class:`Tensor` wrapping a ``numpy.ndarray``
+together with a dynamic tape: every differentiable operation records the
+local vector-Jacobian products needed to backpropagate, and
+:meth:`Tensor.backward` walks the tape in reverse topological order.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.autodiff import Tensor
+>>> x = Tensor(np.ones((2, 2)), requires_grad=True)
+>>> y = (x * 3.0 + 1.0).sum()
+>>> y.backward()
+>>> x.grad
+array([[3., 3.],
+       [3., 3.]])
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,274 @@
+"""Functional (free-function) differentiable operations.
+
+These complement the operator methods on :class:`~repro.autodiff.Tensor`:
+nonlinearities, stable softmax / log-sum-exp, concatenation, stacking and
+the numerically careful primitives the VRDAG losses need (clipped log,
+sigmoid in the stable regime, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "exp",
+    "log",
+    "sqrt",
+    "abs_",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "leaky_relu",
+    "elu",
+    "softplus",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "clip",
+    "concat",
+    "stack",
+    "where",
+    "dropout",
+    "maximum",
+    "minimum",
+    "norm",
+]
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise ``e**x``."""
+    x = as_tensor(x)
+    data = np.exp(x.data)
+    return Tensor._from_op(data, (x,), (lambda g: g * data,), "exp")
+
+
+def log(x: Tensor, eps: float = 0.0) -> Tensor:
+    """Natural log; pass ``eps`` to clamp the argument away from zero."""
+    x = as_tensor(x)
+    arg = x.data + eps if eps else x.data
+    data = np.log(arg)
+    return Tensor._from_op(data, (x,), (lambda g: g / arg,), "log")
+
+
+def sqrt(x: Tensor) -> Tensor:
+    """Elementwise square root."""
+    x = as_tensor(x)
+    data = np.sqrt(x.data)
+    return Tensor._from_op(data, (x,), (lambda g: g * 0.5 / data,), "sqrt")
+
+
+def abs_(x: Tensor) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at 0)."""
+    x = as_tensor(x)
+    data = np.abs(x.data)
+    return Tensor._from_op(data, (x,), (lambda g: g * np.sign(x.data),), "abs")
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid ``1 / (1 + e**-x)``."""
+    x = as_tensor(x)
+    # numerically stable piecewise computation
+    data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x.data, 0, None))),
+        np.exp(np.clip(x.data, None, 0)) / (1.0 + np.exp(np.clip(x.data, None, 0))),
+    )
+    return Tensor._from_op(data, (x,), (lambda g: g * data * (1.0 - data),), "sigmoid")
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    x = as_tensor(x)
+    data = np.tanh(x.data)
+    return Tensor._from_op(data, (x,), (lambda g: g * (1.0 - data**2),), "tanh")
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise ``max(x, 0)``."""
+    x = as_tensor(x)
+    data = np.maximum(x.data, 0.0)
+    mask = (x.data > 0).astype(np.float64)
+    return Tensor._from_op(data, (x,), (lambda g: g * mask,), "relu")
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Elementwise LeakyReLU: ``x`` if positive else ``slope * x``."""
+    x = as_tensor(x)
+    mask = np.where(x.data > 0, 1.0, negative_slope)
+    data = x.data * mask
+    return Tensor._from_op(data, (x,), (lambda g: g * mask,), "leaky_relu")
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Elementwise ELU: ``x`` if positive else ``alpha * (e**x - 1)``."""
+    x = as_tensor(x)
+    neg = alpha * (np.exp(np.clip(x.data, None, 0)) - 1.0)
+    data = np.where(x.data > 0, x.data, neg)
+    local = np.where(x.data > 0, 1.0, neg + alpha)
+    return Tensor._from_op(data, (x,), (lambda g: g * local,), "elu")
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Elementwise ``log(1 + e**x)`` (numerically stabilized)."""
+    x = as_tensor(x)
+    data = np.logaddexp(0.0, x.data)
+    sig = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60)))
+    return Tensor._from_op(data, (x,), (lambda g: g * sig,), "softplus")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (shift-stabilized)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def back(g: np.ndarray) -> np.ndarray:
+        dot = (g * data).sum(axis=axis, keepdims=True)
+        return data * (g - dot)
+
+    return Tensor._from_op(data, (x,), (back,), "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (shift-stabilized)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - lse
+    soft = np.exp(data)
+
+    def back(g: np.ndarray) -> np.ndarray:
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return Tensor._from_op(data, (x,), (back,), "log_softmax")
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """``log(sum(e**x))`` along ``axis`` (shift-stabilized)."""
+    x = as_tensor(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    e = np.exp(x.data - m)
+    s = e.sum(axis=axis, keepdims=True)
+    data = np.log(s) + m
+    soft = e / s
+
+    def back(g: np.ndarray) -> np.ndarray:
+        gg = g
+        if not keepdims:
+            gg = np.expand_dims(gg, axis=axis)
+        return gg * soft
+
+    if not keepdims:
+        data = np.squeeze(data, axis=axis)
+    return Tensor._from_op(np.asarray(data), (x,), (back,), "logsumexp")
+
+
+def clip(x: Tensor, lo: float, hi: float) -> Tensor:
+    """Elementwise clamp to ``[lo, hi]``; gradient is 1 inside, 0 outside."""
+    x = as_tensor(x)
+    data = np.clip(x.data, lo, hi)
+    mask = ((x.data >= lo) & (x.data <= hi)).astype(np.float64)
+    return Tensor._from_op(data, (x,), (lambda g: g * mask,), "clip")
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``; gradients split back."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_back(i: int):
+        def back(g: np.ndarray) -> np.ndarray:
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(offsets[i], offsets[i + 1])
+            return g[tuple(sl)]
+
+        return back
+
+    backs = tuple(make_back(i) for i in range(len(tensors)))
+    return Tensor._from_op(data, tuple(tensors), backs, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``; gradients unstack."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_back(i: int):
+        def back(g: np.ndarray) -> np.ndarray:
+            return np.take(g, i, axis=axis)
+
+        return back
+
+    backs = tuple(make_back(i) for i in range(len(tensors)))
+    return Tensor._from_op(data, tuple(tensors), backs, "stack")
+
+
+def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable select; ``cond`` is a non-differentiable boolean mask."""
+    cond = np.asarray(cond, dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+    data = np.where(cond, a.data, b.data)
+    return Tensor._from_op(
+        data,
+        (a, b),
+        (
+            lambda g: unbroadcast(g * cond, a.shape),
+            lambda g: unbroadcast(g * (~cond), b.shape),
+        ),
+        "where",
+    )
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum of two tensors (ties route grad to the first)."""
+    a, b = as_tensor(a), as_tensor(b)
+    return where(a.data >= b.data, a, b)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise minimum of two tensors (ties route grad to the first)."""
+    a, b = as_tensor(a), as_tensor(b)
+    return where(a.data <= b.data, a, b)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout with keep-scale applied at training time."""
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    data = x.data * mask
+    return Tensor._from_op(data, (x,), (lambda g: g * mask,), "dropout")
+
+
+def norm(x: Tensor, axis: int = -1, keepdims: bool = False, eps: float = 1e-12) -> Tensor:
+    """Euclidean norm along ``axis`` (smoothed to stay differentiable at 0)."""
+    x = as_tensor(x)
+    sq = (x * x).sum(axis=axis, keepdims=keepdims)
+    return sqrt(sq + eps)
+
+
+# ----------------------------------------------------------------------
+# attach convenience methods to Tensor
+# ----------------------------------------------------------------------
+def _attach():
+    Tensor.exp = lambda self: exp(self)
+    Tensor.log = lambda self, eps=0.0: log(self, eps)
+    Tensor.sqrt = lambda self: sqrt(self)
+    Tensor.abs = lambda self: abs_(self)
+    Tensor.sigmoid = lambda self: sigmoid(self)
+    Tensor.tanh = lambda self: tanh(self)
+    Tensor.relu = lambda self: relu(self)
+    Tensor.clip = lambda self, lo, hi: clip(self, lo, hi)
+    Tensor.softmax = lambda self, axis=-1: softmax(self, axis)
+
+
+_attach()

@@ -1,0 +1,60 @@
+"""Baseline graph generators compared against VRDAG (§IV-A1).
+
+Faithful algorithmic re-implementations, scaled to the synthetic
+datasets (see DESIGN.md §4 for the substitution notes):
+
+* :class:`GenCAT` — static attributed graph generator with latent
+  classes (Maekawa et al., 2023); fitted/generated per snapshot.
+* :class:`GRAN` — autoregressive static structure generator with a
+  mixture-Bernoulli output head (Liao et al., 2019; simplified).
+* :class:`TagGen` — temporal-random-walk generator with a plausibility
+  discriminator and walk merging (Zhou et al., 2020).
+* :class:`TGGAN` — truncated temporal walk generator/discriminator
+  pair (Zhang et al., 2021; simplified adversarial scheme).
+* :class:`TIGGER` — RNN temporal-walk generative model (Gupta et al.,
+  2022).
+* :class:`Dymond` — motif arrival-rate model (Zeno et al., 2021).
+* :class:`NormalAttributeGenerator` — the "Normal" attribute baseline
+  of Fig. 3.
+* :class:`AGM` — attributed graph model with attribute-conditioned edge
+  acceptance (Pfeiffer III et al., 2014; §V related work).
+* :class:`ANC` — community-structured Gaussian-attribute generator
+  (Largeron et al., 2015; §V related work).
+
+All generators implement the common :class:`GraphGenerator` protocol:
+``fit(graph)`` then ``generate(num_timesteps) -> DynamicAttributedGraph``.
+"""
+
+from repro.baselines.base import GraphGenerator
+from repro.baselines.normal import NormalAttributeGenerator
+from repro.baselines.classic import (
+    BarabasiAlbert,
+    ErdosRenyi,
+    KroneckerGraph,
+    StochasticBlockModel,
+)
+from repro.baselines.gencat import GenCAT
+from repro.baselines.gran import GRAN
+from repro.baselines.taggen import TagGen
+from repro.baselines.tggan import TGGAN
+from repro.baselines.tigger import TIGGER
+from repro.baselines.dymond import Dymond
+from repro.baselines.agm import AGM
+from repro.baselines.anc import ANC
+
+__all__ = [
+    "GraphGenerator",
+    "NormalAttributeGenerator",
+    "AGM",
+    "ANC",
+    "GenCAT",
+    "GRAN",
+    "TagGen",
+    "TGGAN",
+    "TIGGER",
+    "Dymond",
+    "ErdosRenyi",
+    "BarabasiAlbert",
+    "StochasticBlockModel",
+    "KroneckerGraph",
+]

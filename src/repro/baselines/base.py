@@ -1,0 +1,40 @@
+"""Common protocol for all graph generators (VRDAG and baselines)."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.graph import DynamicAttributedGraph
+
+
+class GraphGenerator(abc.ABC):
+    """fit-then-generate interface shared by every generator.
+
+    Subclasses set :attr:`fitted` in :meth:`fit`; :meth:`generate`
+    raises if called before fitting.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.fitted = False
+
+    @abc.abstractmethod
+    def fit(self, graph: DynamicAttributedGraph) -> "GraphGenerator":
+        """Learn the generator from an observed dynamic attributed graph."""
+
+    @abc.abstractmethod
+    def generate(self, num_timesteps: int,
+                 seed: Optional[int] = None) -> DynamicAttributedGraph:
+        """Simulate a new dynamic attributed graph."""
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(
+                f"{type(self).__name__}.generate() called before fit()"
+            )
+
+    def _rng(self, seed: Optional[int]) -> np.random.Generator:
+        return np.random.default_rng(self.seed if seed is None else seed)

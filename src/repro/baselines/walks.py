@@ -1,0 +1,134 @@
+"""Temporal random-walk machinery shared by TagGen / TGGAN / TIGGER.
+
+A *temporal walk* is a sequence of (node, time) pairs where consecutive
+steps traverse edges whose timestamps are close (within a window), the
+sampling scheme introduced by TagGen [68] and reused (truncated /
+RNN-modelled) by its successors.  Walk *merging* assembles a generated
+edge stream by accumulating the transitions of many sampled walks and
+keeping the most frequent edges per timestep until the target density
+is met — the expensive assembly step the paper's efficiency evaluation
+highlights.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.graph.temporal import TemporalEdgeList
+
+Walk = List[Tuple[int, int]]  # [(node, time), ...]
+
+
+class TemporalWalkSampler:
+    """Samples temporal random walks from an observed edge stream."""
+
+    def __init__(
+        self,
+        edges: TemporalEdgeList,
+        time_window: int = 2,
+        seed: int = 0,
+    ):
+        self.edges = edges
+        self.time_window = time_window
+        self.rng = np.random.default_rng(seed)
+        # adjacency indexed by (node) -> [(nbr, t)] over symmetrized stream:
+        # TagGen walks traverse edges in either direction
+        self._adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        for u, v, t in edges:
+            self._adj[u].append((v, t))
+            self._adj[v].append((u, t))
+        self._starts: List[Tuple[int, int]] = [(u, t) for u, v, t in edges]
+
+    def sample_walk(self, length: int) -> Optional[Walk]:
+        """One temporal walk of at most ``length`` (node, time) steps."""
+        if not self._starts:
+            return None
+        u, t = self._starts[self.rng.integers(len(self._starts))]
+        walk: Walk = [(u, t)]
+        for _ in range(length - 1):
+            candidates = [
+                (v, tv)
+                for v, tv in self._adj.get(u, [])
+                if abs(tv - t) <= self.time_window
+            ]
+            if not candidates:
+                break
+            u, t = candidates[self.rng.integers(len(candidates))]
+            walk.append((u, t))
+        return walk
+
+    def sample_walks(self, count: int, length: int) -> List[Walk]:
+        """Draw ``num_walks`` time-respecting random walks."""
+        walks = []
+        for _ in range(count):
+            w = self.sample_walk(length)
+            if w and len(w) >= 2:
+                walks.append(w)
+        return walks
+
+
+def walk_transition_counts(
+    walks: Sequence[Walk], num_nodes: int, num_timesteps: int
+) -> Counter:
+    """Count per-timestep edge transitions across walks."""
+    counts: Counter = Counter()
+    for walk in walks:
+        for (u, tu), (v, tv) in zip(walk, walk[1:]):
+            if u == v:
+                continue
+            t = min(max(tv, 0), num_timesteps - 1)
+            counts[(u, v, t)] += 1
+    return counts
+
+
+def merge_walks_into_graph(
+    walks: Sequence[Walk],
+    num_nodes: int,
+    num_timesteps: int,
+    edges_per_step: Sequence[int],
+    rng: np.random.Generator,
+) -> DynamicAttributedGraph:
+    """Assemble a dynamic graph from walks (the merging stage).
+
+    Keeps, per timestep, the highest-multiplicity transitions until the
+    target edge count ``edges_per_step[t]`` is reached; pads with
+    frequency-weighted random edges when walks under-cover a step.
+    """
+    counts = walk_transition_counts(walks, num_nodes, num_timesteps)
+    per_step: Dict[int, List[Tuple[int, Tuple[int, int]]]] = defaultdict(list)
+    for (u, v, t), c in counts.items():
+        per_step[t].append((c, (u, v)))
+
+    node_freq = np.ones(num_nodes)
+    for walk in walks:
+        for u, _ in walk:
+            node_freq[u] += 1
+    node_probs = node_freq / node_freq.sum()
+
+    snaps = []
+    for t in range(num_timesteps):
+        adj = np.zeros((num_nodes, num_nodes))
+        target = int(edges_per_step[min(t, len(edges_per_step) - 1)])
+        ranked = sorted(per_step.get(t, []), reverse=True)
+        placed = 0
+        for _, (u, v) in ranked:
+            if placed >= target:
+                break
+            if adj[u, v] == 0:
+                adj[u, v] = 1.0
+                placed += 1
+        # pad with walk-frequency-weighted random edges
+        attempts = 0
+        while placed < target and attempts < target * 20:
+            u, v = rng.choice(num_nodes, size=2, p=node_probs)
+            attempts += 1
+            if u != v and adj[u, v] == 0:
+                adj[u, v] = 1.0
+                placed += 1
+        np.fill_diagonal(adj, 0.0)
+        snaps.append(GraphSnapshot(adj, None, validate=False))
+    return DynamicAttributedGraph(snaps)

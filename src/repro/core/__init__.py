@@ -1,0 +1,54 @@
+"""VRDAG — the paper's primary contribution (§III).
+
+Components map one-to-one to the paper's architecture (Fig. 1):
+
+* :class:`BiFlowEncoder` — bidirectional GIN message passing with
+  jump-connection pooling (Eq. 5–7).
+* :class:`PriorNetwork` / :class:`PosteriorNetwork` — the latent
+  variable sampler (Eq. 3–4, 8–9).
+* :class:`MixBernoulliSampler` — mixture-of-Bernoulli topology decoder
+  (Eq. 11).
+* :class:`AttributeDecoder` — GAT + MLP attribute decoder (Eq. 12).
+* :class:`RecurrenceUpdater` — Time2Vec + GRU hidden state update
+  (§III-D, Eq. 13).
+* :class:`VRDAG` — the assembled model with ELBO training
+  (Eq. 14–18) and Algorithm 1 inference.
+* :class:`VRDAGTrainer` — the joint optimization loop (§III-E), with
+  optional LR / KL-annealing schedules (:mod:`repro.core.schedule`).
+* :class:`NodeDynamicsWrapper` — the §III-H extension for node
+  addition/deletion.
+"""
+
+from repro.core.config import VRDAGConfig
+from repro.core.encoder import BiFlowEncoder
+from repro.core.latent import GaussianParams, PriorNetwork, PosteriorNetwork
+from repro.core.generator import AttributeDecoder, MixBernoulliSampler
+from repro.core.recurrence import RecurrenceUpdater
+from repro.core.model import VRDAG
+from repro.core.trainer import TrainConfig, TrainResult, VRDAGTrainer
+from repro.core.extension import NodeDynamicsWrapper
+from repro.core.continuation import continue_sequence, encode_prefix
+from repro.core.persistence import load_model, save_model
+from repro.core import losses, schedule
+
+__all__ = [
+    "VRDAGConfig",
+    "BiFlowEncoder",
+    "GaussianParams",
+    "PriorNetwork",
+    "PosteriorNetwork",
+    "MixBernoulliSampler",
+    "AttributeDecoder",
+    "RecurrenceUpdater",
+    "VRDAG",
+    "VRDAGTrainer",
+    "TrainConfig",
+    "TrainResult",
+    "NodeDynamicsWrapper",
+    "continue_sequence",
+    "encode_prefix",
+    "save_model",
+    "load_model",
+    "losses",
+    "schedule",
+]

@@ -1,0 +1,91 @@
+"""Latent variable sampler: prior and posterior networks (§III-B).
+
+Both distributions are fully factorized diagonal Gaussians over the
+per-node latent variables ``z_{i,t}``:
+
+* the **prior** ``p_ϕ(z_{i,t} | h_{i,t-1})`` (Eq. 3–4) conditions only
+  on the recurrent hidden state — this is what generation uses;
+* the **posterior** ``q_ψ(z_{i,t} | ε(v_{i,t}), h_{i,t-1})`` (Eq. 8–9)
+  additionally sees the bi-flow encoding of the ground-truth snapshot —
+  this is what training reconstructs through.
+
+Sampling uses the reparameterization trick; the log-σ head is clamped
+to keep σ in a numerically safe range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional as F
+from repro.nn import Linear, Module
+
+_LOG_SIGMA_CLAMP = 6.0
+
+
+@dataclass
+class GaussianParams:
+    """Mean and standard deviation of a diagonal Gaussian (Tensors)."""
+
+    mu: Tensor
+    sigma: Tensor
+
+    def sample(self, rng: np.random.Generator) -> Tensor:
+        """Reparameterized sample z = μ + ε·σ, ε ~ N(0, I)."""
+        eps = rng.standard_normal(self.mu.shape)
+        return self.mu + self.sigma * eps
+
+    def mean(self) -> Tensor:
+        """Distribution mean (used for deterministic encoding)."""
+        return self.mu
+
+
+class _GaussianHead(Module):
+    """Shared trunk + (μ, log σ) heads as in Eq. 4."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, latent_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.trunk = Linear(in_dim, hidden_dim, rng=rng)
+        self.mu_head = Linear(hidden_dim, latent_dim, rng=rng)
+        self.log_sigma_head = Linear(hidden_dim, latent_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> GaussianParams:
+        h = F.leaky_relu(self.trunk(x))
+        mu = self.mu_head(h)
+        log_sigma = F.clip(
+            self.log_sigma_head(h), -_LOG_SIGMA_CLAMP, _LOG_SIGMA_CLAMP
+        )
+        return GaussianParams(mu=mu, sigma=F.exp(log_sigma))
+
+
+class PriorNetwork(Module):
+    """p_ϕ(Z_t | H_{t-1}) — Eq. 3–4."""
+
+    def __init__(self, hidden_dim: int, latent_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.head = _GaussianHead(hidden_dim, hidden_dim, latent_dim, rng=rng)
+
+    def forward(self, h_prev: Tensor) -> GaussianParams:
+        """Gaussian parameters of ``p(z_t | h_{t-1})``."""
+        return self.head(h_prev)
+
+
+class PosteriorNetwork(Module):
+    """q_ψ(Z_t | ε(G_t), H_{t-1}) — Eq. 8–9."""
+
+    def __init__(self, encode_dim: int, hidden_dim: int, latent_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.head = _GaussianHead(
+            encode_dim + hidden_dim, hidden_dim, latent_dim, rng=rng
+        )
+
+    def forward(self, encoding: Tensor, h_prev: Tensor) -> GaussianParams:
+        """Gaussian parameters of ``q(z_t | encoding, h_{t-1})``."""
+        return self.head(F.concat([encoding, h_prev], axis=1))

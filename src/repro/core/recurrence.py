@@ -1,0 +1,47 @@
+"""Recurrence state updater (§III-D, Algorithm 1 line 7).
+
+Concatenates, per node, the bi-flow encoding of the current snapshot,
+the sampled latent variable and the Time2Vec embedding of the current
+timestep, then updates the hidden node states with a GRU cell:
+
+    H_t = GRU([ε(G_t) || Z_t || f_T(t)], H_{t-1})
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional as F
+from repro.nn import GRUCell, Module, Time2Vec
+
+
+class RecurrenceUpdater(Module):
+    """Time2Vec + GRU hidden state update."""
+
+    def __init__(
+        self,
+        encode_dim: int,
+        latent_dim: int,
+        time_dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.time2vec = Time2Vec(time_dim, rng=rng)
+        self.gru = GRUCell(encode_dim + latent_dim + time_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def initial_state(self, num_nodes: int) -> Tensor:
+        """H_0 = 0 (Algorithm 1 line 1)."""
+        return Tensor(np.zeros((num_nodes, self.hidden_dim)))
+
+    def forward(self, encoding: Tensor, z: Tensor, t: float, h_prev: Tensor) -> Tensor:
+        """``H_t = GRU([encoding || z || f_T(t)], H_{t-1})`` (Eq. 13)."""
+        n = encoding.shape[0]
+        tv = self.time2vec(float(t))           # (d_T,)
+        tv_rows = tv.expand_dims(0) + np.zeros((n, 1))  # broadcast to (N, d_T)
+        x = F.concat([encoding, z, tv_rows], axis=1)
+        return self.gru(x, h_prev)

@@ -1,0 +1,169 @@
+"""Training schedules: learning-rate decay and KL annealing.
+
+The paper trains VRDAG's variational objective (Eq. 14) with a fixed
+KL weight.  In practice recurrent VAEs are prone to posterior collapse
+early in training; the standard remedy — and a documented ablation
+target here — is to *anneal* the KL term from (near) zero up to its
+full weight over the first epochs (Bowman et al., 2016).  Learning-rate
+schedules are the matching knob on the optimizer side.
+
+All schedules are pure functions of the epoch index exposed through a
+tiny protocol (``value(epoch) -> float``), so the trainer can apply
+them without knowing which schedule it got:
+
+* :class:`ConstantSchedule` — always the same value.
+* :class:`LinearWarmup` — 0 → target over ``warmup_epochs``.
+* :class:`StepDecay` — multiply by ``gamma`` every ``step_epochs``.
+* :class:`CosineAnnealing` — cosine from ``start`` to ``end``.
+* :class:`CyclicalAnnealing` — the sawtooth KL schedule of Fu et al.
+  (2019), repeatedly ramping 0 → target.
+
+:class:`VRDAGTrainer` accepts ``kl_schedule`` and ``lr_schedule``
+through :class:`~repro.core.trainer.TrainConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Schedule(Protocol):
+    """Anything mapping an epoch index to a scalar value."""
+
+    def value(self, epoch: int) -> float:  # pragma: no cover - protocol
+        """Scheduled scalar at ``epoch``."""
+        ...
+
+
+def _check_epoch(epoch: int) -> None:
+    if epoch < 0:
+        raise ValueError(f"epoch must be >= 0, got {epoch}")
+
+
+class ConstantSchedule:
+    """Always ``constant`` — the identity element of scheduling."""
+
+    def __init__(self, constant: float):
+        self.constant = float(constant)
+
+    def value(self, epoch: int) -> float:
+        """Always the configured constant."""
+        _check_epoch(epoch)
+        return self.constant
+
+    def __repr__(self) -> str:
+        return f"ConstantSchedule({self.constant})"
+
+
+class LinearWarmup:
+    """Ramp linearly from ``start`` to ``target`` over ``warmup_epochs``.
+
+    Epoch 0 yields ``start``; epochs >= ``warmup_epochs`` yield
+    ``target``.  The canonical KL-annealing schedule with
+    ``start=0, target=1``.
+    """
+
+    def __init__(self, target: float, warmup_epochs: int, start: float = 0.0):
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.start = float(start)
+        self.target = float(target)
+        self.warmup_epochs = int(warmup_epochs)
+
+    def value(self, epoch: int) -> float:
+        """Linear ramp value at ``epoch`` (clamped at the target)."""
+        _check_epoch(epoch)
+        if epoch >= self.warmup_epochs:
+            return self.target
+        frac = epoch / self.warmup_epochs
+        return self.start + frac * (self.target - self.start)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearWarmup({self.start} -> {self.target} "
+            f"over {self.warmup_epochs})"
+        )
+
+
+class StepDecay:
+    """Multiply ``initial`` by ``gamma`` every ``step_epochs`` epochs."""
+
+    def __init__(self, initial: float, gamma: float, step_epochs: int):
+        if step_epochs < 1:
+            raise ValueError("step_epochs must be >= 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be > 0")
+        self.initial = float(initial)
+        self.gamma = float(gamma)
+        self.step_epochs = int(step_epochs)
+
+    def value(self, epoch: int) -> float:
+        """Initial value decayed by ``gamma`` every ``step_epochs``."""
+        _check_epoch(epoch)
+        return self.initial * self.gamma ** (epoch // self.step_epochs)
+
+    def __repr__(self) -> str:
+        return f"StepDecay({self.initial}, x{self.gamma}/{self.step_epochs}ep)"
+
+
+class CosineAnnealing:
+    """Cosine curve from ``start`` at epoch 0 to ``end`` at ``total_epochs``.
+
+    Beyond ``total_epochs`` the value stays at ``end``.
+    """
+
+    def __init__(self, start: float, end: float, total_epochs: int):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.start = float(start)
+        self.end = float(end)
+        self.total_epochs = int(total_epochs)
+
+    def value(self, epoch: int) -> float:
+        """Cosine-interpolated value at ``epoch``."""
+        _check_epoch(epoch)
+        if epoch >= self.total_epochs:
+            return self.end
+        cos = math.cos(math.pi * epoch / self.total_epochs)
+        return self.end + 0.5 * (self.start - self.end) * (1.0 + cos)
+
+    def __repr__(self) -> str:
+        return (
+            f"CosineAnnealing({self.start} -> {self.end} "
+            f"over {self.total_epochs})"
+        )
+
+
+class CyclicalAnnealing:
+    """Sawtooth KL annealing (Fu et al., 2019).
+
+    Each cycle of ``cycle_epochs`` ramps 0 → ``target`` during the first
+    ``ramp_fraction`` of the cycle, then holds ``target``.
+    """
+
+    def __init__(
+        self, target: float, cycle_epochs: int, ramp_fraction: float = 0.5
+    ):
+        if cycle_epochs < 1:
+            raise ValueError("cycle_epochs must be >= 1")
+        if not 0.0 < ramp_fraction <= 1.0:
+            raise ValueError("ramp_fraction must be in (0, 1]")
+        self.target = float(target)
+        self.cycle_epochs = int(cycle_epochs)
+        self.ramp_fraction = float(ramp_fraction)
+
+    def value(self, epoch: int) -> float:
+        """Sawtooth value at ``epoch`` within the current cycle."""
+        _check_epoch(epoch)
+        pos = (epoch % self.cycle_epochs) / self.cycle_epochs
+        if pos >= self.ramp_fraction:
+            return self.target
+        return self.target * pos / self.ramp_fraction
+
+    def __repr__(self) -> str:
+        return (
+            f"CyclicalAnnealing({self.target}, cycle={self.cycle_epochs}, "
+            f"ramp={self.ramp_fraction})"
+        )

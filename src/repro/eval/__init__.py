@@ -1,0 +1,27 @@
+"""Evaluation harness (§IV): one entry point per paper table/figure.
+
+:mod:`repro.eval.harness` provides timed fit/generate wrappers and the
+generator registry; :mod:`repro.eval.experiments` implements the
+experiment functions that the ``benchmarks/`` suite and
+``EXPERIMENTS.md`` generation both call; :mod:`repro.eval.reporting`
+renders results to markdown/CSV tables and experiment reports.
+"""
+
+from repro.eval.harness import (
+    GeneratorSpec,
+    TimedRun,
+    default_generators,
+    make_vrdag,
+    timed_fit_generate,
+)
+from repro.eval import experiments, reporting
+
+__all__ = [
+    "GeneratorSpec",
+    "TimedRun",
+    "default_generators",
+    "make_vrdag",
+    "timed_fit_generate",
+    "experiments",
+    "reporting",
+]

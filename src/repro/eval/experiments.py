@@ -1,0 +1,421 @@
+"""Per-table / per-figure experiment implementations (§IV).
+
+Every public function regenerates one paper artifact and returns plain
+dict/array results; the ``benchmarks/`` suite wraps them in
+pytest-benchmark cases and prints the paper-style rows.  Scales are
+reduced (pure-Python substrate); the comparison *shape* is the target.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import AGM, ANC, Dymond, GenCAT, NormalAttributeGenerator
+from repro.baselines.dymond import DymondCapacityError
+from repro.datasets import load_dataset
+from repro.eval.harness import (
+    GeneratorSpec,
+    TimedRun,
+    default_generators,
+    make_vrdag,
+    timed_fit_generate,
+)
+from repro.graph import DynamicAttributedGraph
+from repro.graph.temporal import TemporalEdgeList
+from repro.metrics import (
+    attribute_emd,
+    attribute_jsd,
+    privacy_report,
+    spearman_correlation_mae,
+    structure_metric_table,
+)
+from repro.metrics.difference import (
+    attribute_difference_series,
+    structure_difference_series,
+)
+from repro.downstream import evaluate_augmentation
+
+
+# ----------------------------------------------------------------------
+# Table I — structure generation quality
+# ----------------------------------------------------------------------
+def run_table1(
+    dataset: str,
+    methods: Optional[Sequence[str]] = None,
+    scale: float = 0.03,
+    seed: int = 0,
+    epochs: int = 12,
+) -> Dict[str, Dict[str, float]]:
+    """One Table I block: {method: {metric: value}} for one dataset."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    registry = default_generators(seed=seed, epochs=epochs)
+    methods = list(methods or registry)
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in methods:
+        spec = registry[name]
+        try:
+            run = timed_fit_generate(name, spec.factory(), graph, seed=seed + 1)
+        except DymondCapacityError:
+            continue  # paper: Dymond only runs on the smallest dataset
+        rows[name] = structure_metric_table(graph, run.generated)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table II — attribute correlation preservation
+# ----------------------------------------------------------------------
+def run_table2(
+    dataset: str, scale: float = 0.03, seed: int = 0, epochs: int = 12
+) -> Dict[str, float]:
+    """Spearman-correlation MAE for Normal / GenCAT / VRDAG."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    if graph.num_attributes < 2:
+        raise ValueError(f"dataset {dataset} has < 2 attributes")
+    out: Dict[str, float] = {}
+    for name, gen in [
+        ("Normal", NormalAttributeGenerator(seed=seed)),
+        ("GenCAT", GenCAT(seed=seed)),
+        ("VRDAG", make_vrdag(epochs=epochs, seed=seed)),
+    ]:
+        run = timed_fit_generate(name, gen, graph, seed=seed + 1)
+        out[name] = spearman_correlation_mae(graph, run.generated)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — attribute distribution fidelity
+# ----------------------------------------------------------------------
+def run_fig3(
+    dataset: str,
+    scale: float = 0.03,
+    seed: int = 0,
+    epochs: int = 12,
+    include_related_work: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """JSD and EMD for VRDAG / GenCAT / Normal on one dataset.
+
+    ``include_related_work`` adds the AGM and ANC static attributed
+    baselines from §V (not in the paper's figure; extra reference
+    points for the attribute evaluation).
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    out: Dict[str, Dict[str, float]] = {}
+    comparisons = [
+        ("VRDAG", make_vrdag(epochs=epochs, seed=seed)),
+        ("GenCAT", GenCAT(seed=seed)),
+        ("Normal", NormalAttributeGenerator(seed=seed)),
+    ]
+    if include_related_work:
+        comparisons += [("AGM", AGM(seed=seed)), ("ANC", ANC(seed=seed))]
+    for name, gen in comparisons:
+        run = timed_fit_generate(name, gen, graph, seed=seed + 1)
+        out[name] = {
+            "jsd": attribute_jsd(graph, run.generated),
+            "emd": attribute_emd(graph, run.generated),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figs. 4–8 — temporal difference series
+# ----------------------------------------------------------------------
+def run_difference_figure(
+    dataset: str,
+    metric: str,
+    kind: str = "structure",
+    scale: float = 0.03,
+    seed: int = 0,
+    epochs: int = 12,
+    include_tigger: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Difference-vs-timestep series for Original / VRDAG (/ TIGGER).
+
+    ``kind='structure'`` with metric in {degree, clustering, coreness}
+    reproduces Figs. 4–6; ``kind='attribute'`` with metric in
+    {mae, rmse} reproduces Figs. 7–8 (original vs VRDAG only, as in the
+    paper — no attributed dynamic baseline exists).
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    series_fn = (
+        (lambda g: structure_difference_series(g, metric))
+        if kind == "structure"
+        else (lambda g: attribute_difference_series(g, metric))
+    )
+    out: Dict[str, np.ndarray] = {"Original": series_fn(graph)}
+    vrdag_run = timed_fit_generate(
+        "VRDAG", make_vrdag(epochs=epochs, seed=seed), graph, seed=seed + 1
+    )
+    out["VRDAG"] = series_fn(vrdag_run.generated)
+    if kind == "structure" and include_tigger:
+        from repro.baselines import TIGGER
+
+        tig_run = timed_fit_generate("TIGGER", TIGGER(seed=seed), graph, seed=seed + 1)
+        out["TIGGER"] = series_fn(tig_run.generated)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — efficiency
+# ----------------------------------------------------------------------
+def run_fig9_times(
+    dataset: str,
+    methods: Optional[Sequence[str]] = None,
+    scale: float = 0.03,
+    seed: int = 0,
+    epochs: int = 10,
+) -> Dict[str, Dict[str, float]]:
+    """Train/test wall-clock per method on one dataset (Fig. 9a,b)."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    registry = default_generators(seed=seed, epochs=epochs)
+    methods = list(methods or ["VRDAG", "TIGGER", "TGGAN", "TagGen"])
+    out: Dict[str, Dict[str, float]] = {}
+    for name in methods:
+        run = timed_fit_generate(name, registry[name].factory(), graph, seed=seed + 1)
+        out[name] = {"train": run.fit_seconds, "test": run.generate_seconds}
+    return out
+
+
+def run_fig9_timestep_sweep(
+    dataset: str = "bitcoin",
+    timesteps: Sequence[int] = (5, 15, 25, 35),
+    methods: Optional[Sequence[str]] = None,
+    scale: float = 0.03,
+    seed: int = 0,
+    epochs: int = 8,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Running time vs sequence length on Bitcoin (Fig. 9c,d)."""
+    registry = default_generators(seed=seed, epochs=epochs)
+    methods = list(methods or ["VRDAG", "TIGGER", "TGGAN", "TagGen"])
+    out: Dict[str, Dict[int, Dict[str, float]]] = {m: {} for m in methods}
+    for t_len in timesteps:
+        graph = load_dataset(dataset, scale=scale, seed=seed, num_timesteps=t_len)
+        for name in methods:
+            run = timed_fit_generate(
+                name, registry[name].factory(), graph, num_timesteps=t_len,
+                seed=seed + 1,
+            )
+            out[name][t_len] = {
+                "train": run.fit_seconds, "test": run.generate_seconds
+            }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tables III/IV — scalability against temporal edge count
+# ----------------------------------------------------------------------
+def run_scalability_sweep(
+    edge_counts: Sequence[int] = (200, 1000, 4000),
+    methods: Optional[Sequence[str]] = None,
+    dataset: str = "gdelt",
+    scale: float = 0.04,
+    seed: int = 0,
+    epochs: int = 8,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Train/generate time vs #temporal edges sampled from GDELT.
+
+    Mirrors Tables III/IV at reduced absolute sizes (the paper sweeps
+    1k→500k on native code; we sweep a geometric range with the same
+    relative span semantics).
+    """
+    base = load_dataset(dataset, scale=scale, seed=seed)
+    stream = TemporalEdgeList.from_dynamic_graph(base)
+    rng = np.random.default_rng(seed)
+    registry = default_generators(seed=seed, epochs=epochs)
+    methods = list(methods or ["TagGen", "TGGAN", "TIGGER", "VRDAG"])
+    out: Dict[str, Dict[int, Dict[str, float]]] = {m: {} for m in methods}
+    attrs = base.attribute_tensor()
+    for count in edge_counts:
+        sub = stream.subsample(count, rng).to_dynamic_graph(attributes=attrs)
+        for name in methods:
+            run = timed_fit_generate(
+                name, registry[name].factory(), sub, seed=seed + 1
+            )
+            out[name][count] = {
+                "train": run.fit_seconds, "test": run.generate_seconds
+            }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — downstream augmentation case study
+# ----------------------------------------------------------------------
+def run_fig10(
+    dataset: str,
+    scale: float = 0.03,
+    seed: int = 0,
+    vrdag_epochs: int = 12,
+    downstream_epochs: int = 20,
+    n_runs: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Link-pred F1 / attr-pred RMSE: no-aug vs GenCAT-aug vs VRDAG-aug.
+
+    Results are averaged over ``n_runs`` downstream training runs
+    (different seeds), following the paper's 5-run averaging protocol.
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    synthetic = {
+        "NoAugmentation": None,
+        "GenCAT": timed_fit_generate(
+            "GenCAT", GenCAT(seed=seed), graph, seed=seed + 1
+        ).generated,
+        "VRDAG": timed_fit_generate(
+            "VRDAG", make_vrdag(epochs=vrdag_epochs, seed=seed), graph,
+            seed=seed + 1,
+        ).generated,
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for name, aug in synthetic.items():
+        f1s, rmses = [], []
+        for run_idx in range(n_runs):
+            res = evaluate_augmentation(
+                graph, aug, epochs=downstream_epochs, seed=seed + run_idx
+            )
+            f1s.append(res.f1)
+            rmses.append(res.rmse)
+        out[name] = {"f1": float(np.mean(f1s)), "rmse": float(np.mean(rmses))}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Extension — privacy / leakage audit (not a paper artifact)
+# ----------------------------------------------------------------------
+def run_privacy_audit(
+    dataset: str, scale: float = 0.03, seed: int = 0, epochs: int = 12
+) -> Dict[str, Dict[str, float]]:
+    """Leakage audit of release candidates (§I anonymization motivation).
+
+    Compares three "releases" of a private graph: an identity copy (the
+    worst case — everything leaks), a GenCAT draw, and a VRDAG draw.
+    Reports the :func:`repro.metrics.privacy_report` checks for each;
+    the paper asserts anonymization qualitatively, this experiment
+    quantifies it.
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    candidates = {
+        "IdentityCopy": graph.copy(),
+        "GenCAT": timed_fit_generate(
+            "GenCAT", GenCAT(seed=seed), graph, seed=seed + 1
+        ).generated,
+        "VRDAG": timed_fit_generate(
+            "VRDAG", make_vrdag(epochs=epochs, seed=seed), graph, seed=seed + 1
+        ).generated,
+    }
+    return {
+        name: privacy_report(graph, release)
+        for name, release in candidates.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Extension — engine-benchmarking workload profile (not a paper artifact)
+# ----------------------------------------------------------------------
+def run_workload_profile(
+    dataset: str,
+    scale: float = 0.03,
+    seed: int = 0,
+    epochs: int = 12,
+    num_queries: int = 500,
+) -> Dict[str, Dict[str, float]]:
+    """Per-class result cardinalities: private graph vs synthetic twin.
+
+    The §I engine-benchmarking recipe only works if a workload run on
+    the synthetic twin exercises the engine like the private graph
+    would.  Returns ``{"private": {...}, "synthetic": {...}}`` mean
+    result sizes per query class under one shared workload spec.
+    """
+    from repro.workloads import (
+        GraphQueryEngine,
+        WorkloadConfig,
+        WorkloadGenerator,
+        execute_workload,
+    )
+
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    synthetic = timed_fit_generate(
+        "VRDAG", make_vrdag(epochs=epochs, seed=seed), graph, seed=seed + 1
+    ).generated
+    config = WorkloadConfig(num_queries=num_queries, seed=seed + 7)
+    out: Dict[str, Dict[str, float]] = {}
+    for name, g in [("private", graph), ("synthetic", synthetic)]:
+        report = execute_workload(
+            GraphQueryEngine(g), WorkloadGenerator(g, config).generate()
+        )
+        out[name] = dict(report.mean_result_size)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Appendix A-F — parameter analysis
+# ----------------------------------------------------------------------
+def run_parameter_analysis(
+    dataset: str = "email",
+    scale: float = 0.03,
+    seed: int = 0,
+    epochs: int = 10,
+) -> Dict[str, Dict[str, float]]:
+    """Sweep the key hyperparameters (d_z, d_h, K) as in Appendix A-F.
+
+    For each setting, reports the in-degree distribution MMD, the
+    attribute JSD, and the number of model parameters — the quality/
+    capacity trade-off curves of the paper's parameter study.
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    sweeps = {
+        "latent_dim=4": dict(latent_dim=4),
+        "latent_dim=12": dict(latent_dim=12),
+        "latent_dim=24": dict(latent_dim=24),
+        "hidden_dim=12": dict(hidden_dim=12, encode_dim=12),
+        "hidden_dim=24": dict(hidden_dim=24, encode_dim=24),
+        "hidden_dim=48": dict(hidden_dim=48, encode_dim=48),
+        "K=1": dict(mixture_components=1),
+        "K=3": dict(mixture_components=3),
+        "K=6": dict(mixture_components=6),
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for name, overrides in sweeps.items():
+        gen = make_vrdag(epochs=epochs, seed=seed, **overrides)
+        run = timed_fit_generate(name, gen, graph, seed=seed + 1)
+        out[name] = {
+            "in_deg_dist": structure_metric_table(graph, run.generated)[
+                "in_deg_dist"
+            ],
+            "attr_jsd": attribute_jsd(graph, run.generated),
+            "params": float(gen.model.num_parameters()),
+            "train_s": run.fit_seconds,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Appendix ablation
+# ----------------------------------------------------------------------
+def run_ablation(
+    dataset: str = "email", scale: float = 0.03, seed: int = 0, epochs: int = 12
+) -> Dict[str, Dict[str, float]]:
+    """Ablate bi-flow encoding, mixture size K, and the SCE loss."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    variants = {
+        "full": dict(),
+        "uni_flow": dict(bidirectional=False),
+        "K1": dict(mixture_components=1),
+        "mse_attr": dict(attr_loss="mse"),
+        "white_noise": dict(correlated_noise=False),
+        "kl_warmup": dict(kl_warmup_epochs=max(epochs // 2, 1)),
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for name, overrides in variants.items():
+        gen = make_vrdag(epochs=epochs, seed=seed, **overrides)
+        run = timed_fit_generate(name, gen, graph, seed=seed + 1)
+        metrics = structure_metric_table(graph, run.generated)
+        metrics["attr_jsd"] = attribute_jsd(graph, run.generated)
+        metrics["attr_diff_err"] = float(
+            np.abs(
+                attribute_difference_series(graph, "mae")
+                - attribute_difference_series(run.generated, "mae")
+            ).mean()
+        )
+        out[name] = metrics
+    return out

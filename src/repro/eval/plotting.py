@@ -1,0 +1,64 @@
+"""Dependency-free text plotting for the figure benches.
+
+The paper's Figures 4–8 are line plots of difference-vs-timestep
+series; without matplotlib available offline, the benches render them
+as unicode spark-lines and aligned multi-series text charts so the
+*shape* comparison (does VRDAG's line hug the original's?) survives in
+a terminal and in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode spark-line."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return "·" * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for v in arr:
+        if not np.isfinite(v):
+            chars.append("·")
+            continue
+        if span <= 0:
+            chars.append(_TICKS[0])
+        else:
+            idx = int((v - lo) / span * (len(_TICKS) - 1))
+            chars.append(_TICKS[idx])
+    return "".join(chars)
+
+
+def series_chart(series: Dict[str, Sequence[float]], width: int = 12) -> str:
+    """Multi-series text chart: one labelled spark-line per series,
+    sharing a global scale so the lines are visually comparable."""
+    all_vals = np.concatenate(
+        [np.asarray(list(v), dtype=np.float64) for v in series.values()]
+    )
+    finite = all_vals[np.isfinite(all_vals)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+
+    lines = []
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=np.float64)
+        chars = []
+        for v in arr:
+            if not np.isfinite(v):
+                chars.append("·")
+            else:
+                chars.append(_TICKS[int((v - lo) / span * (len(_TICKS) - 1))])
+        lines.append(f"{name:<{width}s} {''.join(chars)}  "
+                     f"[{arr.min():.3f}, {arr.max():.3f}]")
+    return "\n".join(lines)

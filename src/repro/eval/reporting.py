@@ -1,0 +1,209 @@
+"""Report rendering for experiment results.
+
+The experiment functions in :mod:`repro.eval.experiments` return plain
+nested dicts / arrays; this module turns them into markdown tables,
+CSV files and the per-experiment sections of ``EXPERIMENTS.md``.
+
+* :func:`markdown_table` / :func:`csv_lines` — low-level formatting.
+* :func:`nested_dict_table` — ``{row: {col: value}}`` to a table.
+* :func:`series_table` — ``{name: np.ndarray}`` time series to a table
+  with one row per timestep (the Figs. 4–8 shape).
+* :class:`ExperimentReport` — one paper artifact: id, title, the
+  paper's claim, the measured table and a verdict; renders to a
+  markdown section.
+* :func:`write_markdown_report` — assemble sections into a document.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+Cell = Union[str, float, int]
+
+
+def format_cell(value: Cell, precision: int = 4) -> str:
+    """Human-stable cell formatting: floats rounded, ints verbatim."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) >= 1e4 or abs(value) < 10 ** -precision):
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def markdown_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 4,
+) -> str:
+    """GitHub-flavoured markdown table."""
+    if not header:
+        raise ValueError("header must not be empty")
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, header has {len(header)}"
+            )
+    head = "| " + " | ".join(str(h) for h in header) + " |"
+    sep = "|" + "|".join("---" for _ in header) + "|"
+    body = [
+        "| " + " | ".join(format_cell(c, precision) for c in row) + " |"
+        for row in rows
+    ]
+    return "\n".join([head, sep, *body])
+
+
+def csv_lines(
+    header: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 6,
+) -> str:
+    """RFC-4180 CSV text for the same (header, rows) shape."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow([format_cell(c, precision) for c in row])
+    return buf.getvalue()
+
+
+def nested_dict_table(
+    data: Mapping[str, Mapping[str, Cell]],
+    row_label: str = "method",
+    columns: Optional[Sequence[str]] = None,
+) -> tuple:
+    """``{row: {col: value}}`` to ``(header, rows)``.
+
+    Column order follows the first row's insertion order unless
+    ``columns`` pins it; missing cells render as ``nan``.
+    """
+    if not data:
+        raise ValueError("empty result dict")
+    if columns is None:
+        seen: List[str] = []
+        for cols in data.values():
+            for c in cols:
+                if c not in seen:
+                    seen.append(c)
+        columns = seen
+    header = [row_label, *columns]
+    rows = [
+        [name, *[inner.get(c, float("nan")) for c in columns]]
+        for name, inner in data.items()
+    ]
+    return header, rows
+
+
+def series_table(
+    series: Mapping[str, np.ndarray],
+    index_label: str = "timestep",
+) -> tuple:
+    """``{name: (T,) array}`` to per-timestep ``(header, rows)``.
+
+    Shorter series are padded with ``nan`` (generators may emit one
+    fewer difference point than the original).
+    """
+    if not series:
+        raise ValueError("empty series dict")
+    names = list(series)
+    t_max = max(len(np.atleast_1d(series[n])) for n in names)
+    header = [index_label, *names]
+    rows = []
+    for t in range(t_max):
+        row: List[Cell] = [t]
+        for n in names:
+            arr = np.atleast_1d(series[n])
+            row.append(float(arr[t]) if t < len(arr) else float("nan"))
+        rows.append(row)
+    return header, rows
+
+
+@dataclass
+class ExperimentReport:
+    """One paper artifact's reproduction record."""
+
+    experiment_id: str          # e.g. "Table I", "Fig. 4"
+    title: str
+    paper_claim: str            # what the paper reports (shape)
+    measured: str               # markdown table or summary text
+    verdict: str                # reproduced / partial / deviation note
+    notes: str = ""
+
+    def render(self) -> str:
+        """This experiment as a markdown section."""
+        lines = [
+            f"## {self.experiment_id} — {self.title}",
+            "",
+            f"**Paper:** {self.paper_claim}",
+            "",
+            "**Measured:**",
+            "",
+            self.measured,
+            "",
+            f"**Verdict:** {self.verdict}",
+        ]
+        if self.notes:
+            lines += ["", f"*Notes:* {self.notes}"]
+        return "\n".join(lines)
+
+
+def write_markdown_report(
+    path: Union[str, os.PathLike],
+    title: str,
+    preamble: str,
+    reports: Sequence[ExperimentReport],
+) -> None:
+    """Assemble experiment sections into one markdown document."""
+    doc = [f"# {title}", "", preamble, ""]
+    for report in reports:
+        doc.append(report.render())
+        doc.append("")
+    with open(path, "w") as fh:
+        fh.write("\n".join(doc))
+
+
+def summarize_ranking(
+    data: Mapping[str, Mapping[str, float]],
+    lower_is_better: bool = True,
+) -> Dict[str, List[str]]:
+    """Per-column ranking of methods (ties broken by dict order).
+
+    Returns ``{column: [best, ..., worst]}`` — the "who wins" shape the
+    reproduction compares against the paper's tables.
+    """
+    header, rows = nested_dict_table(data)
+    columns = header[1:]
+    out: Dict[str, List[str]] = {}
+    for j, col in enumerate(columns, start=1):
+        scored = [
+            (row[0], float(row[j]))
+            for row in rows
+            if not np.isnan(float(row[j]))
+        ]
+        scored.sort(key=lambda kv: kv[1], reverse=not lower_is_better)
+        out[col] = [name for name, _ in scored]
+    return out
+
+
+def win_counts(
+    data: Mapping[str, Mapping[str, float]],
+    lower_is_better: bool = True,
+) -> Dict[str, int]:
+    """How many columns each method wins (Table I "best results" count)."""
+    ranking = summarize_ranking(data, lower_is_better)
+    counts: Dict[str, int] = {name: 0 for name in data}
+    for order in ranking.values():
+        if order:
+            counts[order[0]] += 1
+    return counts

@@ -1,0 +1,36 @@
+"""Dynamic attributed graph data model (paper §II-A).
+
+A dynamic attributed graph is a sequence of snapshots
+``G_t(A_t, X_t)`` over a fixed node universe ``V`` of size ``N``:
+
+* :class:`GraphSnapshot` — one timestep: dense directed adjacency
+  ``A ∈ {0,1}^{N×N}`` plus attribute matrix ``X ∈ R^{N×F}``.
+* :class:`DynamicAttributedGraph` — the sequence, with statistics and
+  validation.
+* :class:`TemporalEdgeList` — the ``(u, v, t)`` stream view used by the
+  random-walk baselines, with lossless conversion in both directions.
+* :mod:`repro.graph.properties` — structural analytics (degrees,
+  clustering, coreness, wedges, components, power-law exponents).
+* :mod:`repro.graph.streams` — continuous-time interaction streams and
+  snapshot discretization policies.
+* :mod:`repro.graph.io` — portable ``.npz`` persistence.
+* :mod:`repro.graph.formats` — CSV interop (edge streams, event
+  streams, attribute tables) for dataset exchange.
+"""
+
+from repro.graph.snapshot import GraphSnapshot
+from repro.graph.dynamic import DynamicAttributedGraph
+from repro.graph.temporal import TemporalEdgeList
+from repro.graph.streams import InteractionStream
+from repro.graph import properties, io, streams, formats
+
+__all__ = [
+    "GraphSnapshot",
+    "DynamicAttributedGraph",
+    "TemporalEdgeList",
+    "InteractionStream",
+    "properties",
+    "io",
+    "streams",
+    "formats",
+]

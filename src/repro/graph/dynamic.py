@@ -1,0 +1,144 @@
+"""Dynamic attributed graph: a sequence of snapshots over fixed nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.snapshot import GraphSnapshot
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics matching the paper's Table I columns."""
+
+    num_nodes: int
+    num_temporal_edges: int
+    num_attributes: int
+    num_timesteps: int
+
+    def __str__(self) -> str:
+        return (
+            f"N={self.num_nodes} M={self.num_temporal_edges} "
+            f"X={self.num_attributes} T={self.num_timesteps}"
+        )
+
+
+class DynamicAttributedGraph:
+    """The paper's ``G = {G_t(A_t, X_t)}_{t=1..T}`` (§II-A).
+
+    All snapshots share the node universe ``V`` (|V| = N) and the
+    attribute dimensionality ``F``; structural evolution is the change
+    of edges, attribute evolution the change of ``X_t``.
+    """
+
+    def __init__(self, snapshots: Sequence[GraphSnapshot]):
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise ValueError("a dynamic graph needs at least one snapshot")
+        n = snapshots[0].num_nodes
+        f = snapshots[0].num_attributes
+        for i, s in enumerate(snapshots):
+            if s.num_nodes != n:
+                raise ValueError(
+                    f"snapshot {i} has {s.num_nodes} nodes, expected {n}"
+                )
+            if s.num_attributes != f:
+                raise ValueError(
+                    f"snapshot {i} has {s.num_attributes} attributes, expected {f}"
+                )
+        self.snapshots: List[GraphSnapshot] = snapshots
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Size of the shared node universe ``N``."""
+        return self.snapshots[0].num_nodes
+
+    @property
+    def num_attributes(self) -> int:
+        """Attribute dimensionality ``F``."""
+        return self.snapshots[0].num_attributes
+
+    @property
+    def num_timesteps(self) -> int:
+        """Sequence length ``T``."""
+        return len(self.snapshots)
+
+    @property
+    def num_temporal_edges(self) -> int:
+        """Total edges summed across snapshots (the paper's ``M``)."""
+        return sum(s.num_edges for s in self.snapshots)
+
+    def statistics(self) -> GraphStatistics:
+        """N/M/X/T summary (the paper's Table I columns)."""
+        return GraphStatistics(
+            num_nodes=self.num_nodes,
+            num_temporal_edges=self.num_temporal_edges,
+            num_attributes=self.num_attributes,
+            num_timesteps=self.num_timesteps,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __getitem__(self, t):
+        if isinstance(t, slice):
+            return DynamicAttributedGraph(self.snapshots[t])
+        return self.snapshots[t]
+
+    def __iter__(self) -> Iterator[GraphSnapshot]:
+        return iter(self.snapshots)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicAttributedGraph):
+            return NotImplemented
+        return len(self) == len(other) and all(
+            a == b for a, b in zip(self.snapshots, other.snapshots)
+        )
+
+    def __repr__(self) -> str:
+        return f"DynamicAttributedGraph({self.statistics()})"
+
+    # ------------------------------------------------------------------
+    def adjacency_tensor(self) -> np.ndarray:
+        """Stack of adjacency matrices, shape ``(T, N, N)``."""
+        return np.stack([s.adjacency for s in self.snapshots])
+
+    def attribute_tensor(self) -> np.ndarray:
+        """Stack of attribute matrices, shape ``(T, N, F)``."""
+        return np.stack([s.attributes for s in self.snapshots])
+
+    def active_nodes(self, t: int) -> np.ndarray:
+        """Indices of nodes with at least one edge in snapshot ``t``."""
+        snap = self.snapshots[t]
+        deg = snap.degrees()
+        return np.nonzero(deg > 0)[0]
+
+    def copy(self) -> "DynamicAttributedGraph":
+        """Deep copy of every snapshot."""
+        return DynamicAttributedGraph([s.copy() for s in self.snapshots])
+
+    def truncated(self, t: int) -> "DynamicAttributedGraph":
+        """Prefix of the sequence up to (excluding) timestep ``t``."""
+        if not 1 <= t <= len(self):
+            raise IndexError(f"truncation point {t} out of range 1..{len(self)}")
+        return DynamicAttributedGraph(self.snapshots[:t])
+
+    @classmethod
+    def from_tensors(
+        cls, adjacency: np.ndarray, attributes: Optional[np.ndarray] = None
+    ) -> "DynamicAttributedGraph":
+        """Build from ``(T, N, N)`` adjacency and ``(T, N, F)`` attributes."""
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.ndim != 3:
+            raise ValueError("adjacency tensor must be (T, N, N)")
+        t_len = adjacency.shape[0]
+        snaps = []
+        for t in range(t_len):
+            attr = None if attributes is None else attributes[t]
+            snaps.append(GraphSnapshot(adjacency[t], attr))
+        return cls(snaps)

@@ -1,0 +1,33 @@
+"""Persistence for dynamic attributed graphs (compressed ``.npz``)."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.graph.dynamic import DynamicAttributedGraph
+
+_FORMAT_VERSION = 1
+
+
+def save(graph: DynamicAttributedGraph, path: Union[str, os.PathLike]) -> None:
+    """Write ``graph`` to ``path`` as a compressed npz archive."""
+    np.savez_compressed(
+        path,
+        version=np.array(_FORMAT_VERSION),
+        adjacency=graph.adjacency_tensor().astype(np.int8),
+        attributes=graph.attribute_tensor(),
+    )
+
+
+def load(path: Union[str, os.PathLike]) -> DynamicAttributedGraph:
+    """Read a graph previously written by :func:`save`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported graph file version {version}")
+        adjacency = data["adjacency"].astype(np.float64)
+        attributes = data["attributes"]
+    return DynamicAttributedGraph.from_tensors(adjacency, attributes)

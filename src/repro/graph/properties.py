@@ -1,0 +1,260 @@
+"""Structural graph analytics used throughout the evaluation (§IV-A2).
+
+All functions operate on :class:`~repro.graph.snapshot.GraphSnapshot`
+or raw dense adjacency matrices.  Where the paper's metric is defined on
+undirected structure (clustering, coreness, components, wedges) the
+directed adjacency is symmetrized first, matching standard practice in
+the cited metric suites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.snapshot import GraphSnapshot
+
+
+# ----------------------------------------------------------------------
+# degrees
+# ----------------------------------------------------------------------
+def in_degree_sequence(snapshot: GraphSnapshot) -> np.ndarray:
+    """In-degree sequence of a snapshot, shape ``(N,)``."""
+    return snapshot.in_degrees()
+
+
+def out_degree_sequence(snapshot: GraphSnapshot) -> np.ndarray:
+    """Out-degree sequence of a snapshot, shape ``(N,)``."""
+    return snapshot.out_degrees()
+
+
+def degree_histogram(degrees: np.ndarray, max_degree: int | None = None) -> np.ndarray:
+    """Normalized degree histogram (a probability vector)."""
+    degrees = np.asarray(degrees, dtype=int)
+    hi = int(max_degree if max_degree is not None else (degrees.max() if degrees.size else 0))
+    hist = np.bincount(degrees, minlength=hi + 1).astype(np.float64)
+    total = hist.sum()
+    return hist / total if total > 0 else hist
+
+
+# ----------------------------------------------------------------------
+# clustering
+# ----------------------------------------------------------------------
+def clustering_coefficients(snapshot: GraphSnapshot) -> np.ndarray:
+    """Local clustering coefficient per node on symmetrized structure."""
+    sym = snapshot.undirected_adjacency()
+    deg = sym.sum(axis=1)
+    # triangles through node i: (A^3)_{ii} / 2 on simple undirected graphs
+    tri = np.diag(sym @ sym @ sym) / 2.0
+    possible = deg * (deg - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cc = np.where(possible > 0, tri / possible, 0.0)
+    return cc
+
+
+def average_clustering(snapshot: GraphSnapshot) -> float:
+    """Mean undirected clustering coefficient over all nodes."""
+    return float(clustering_coefficients(snapshot).mean())
+
+
+# ----------------------------------------------------------------------
+# wedges / triangles
+# ----------------------------------------------------------------------
+def wedge_count(snapshot: GraphSnapshot) -> int:
+    """Number of wedges (paths of length 2) in the symmetrized graph."""
+    sym = snapshot.undirected_adjacency()
+    deg = sym.sum(axis=1)
+    return int((deg * (deg - 1) / 2.0).sum())
+
+
+def triangle_count(snapshot: GraphSnapshot) -> int:
+    """Number of undirected triangles."""
+    sym = snapshot.undirected_adjacency()
+    return int(np.round(np.trace(sym @ sym @ sym) / 6.0))
+
+
+# ----------------------------------------------------------------------
+# connected components
+# ----------------------------------------------------------------------
+def connected_components(snapshot: GraphSnapshot) -> List[np.ndarray]:
+    """Weakly connected components (lists of node indices).
+
+    Isolated nodes each form their own singleton component; the paper's
+    NC metric counts non-singleton components only when comparing
+    generators (isolated nodes dominate otherwise), so we expose both
+    via :func:`component_count` flags.
+    """
+    sym = snapshot.undirected_adjacency()
+    n = snapshot.num_nodes
+    seen = np.zeros(n, dtype=bool)
+    comps: List[np.ndarray] = []
+    neighbors = [np.nonzero(sym[i])[0] for i in range(n)]
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            node = stack.pop()
+            comp.append(node)
+            for nb in neighbors[node]:
+                if not seen[nb]:
+                    seen[nb] = True
+                    stack.append(int(nb))
+        comps.append(np.array(sorted(comp)))
+    return comps
+
+
+def component_count(snapshot: GraphSnapshot, include_singletons: bool = False) -> int:
+    """Number of weakly connected components (singletons optional)."""
+    comps = connected_components(snapshot)
+    if include_singletons:
+        return len(comps)
+    return sum(1 for c in comps if len(c) > 1)
+
+
+def largest_component_size(snapshot: GraphSnapshot) -> int:
+    """Node count of the largest weakly connected component."""
+    comps = connected_components(snapshot)
+    return max(len(c) for c in comps) if comps else 0
+
+
+# ----------------------------------------------------------------------
+# coreness
+# ----------------------------------------------------------------------
+def coreness(snapshot: GraphSnapshot) -> np.ndarray:
+    """k-core number per node (symmetrized), via iterative peeling."""
+    sym = snapshot.undirected_adjacency()
+    n = snapshot.num_nodes
+    deg = sym.sum(axis=1).astype(int)
+    core = np.zeros(n, dtype=int)
+    alive = np.ones(n, dtype=bool)
+    current_deg = deg.copy()
+    k = 0
+    remaining = n
+    while remaining > 0:
+        # peel all nodes with degree <= k
+        peel = np.nonzero(alive & (current_deg <= k))[0]
+        if peel.size == 0:
+            k += 1
+            continue
+        for node in peel:
+            core[node] = k
+            alive[node] = False
+            remaining -= 1
+            nbs = np.nonzero(sym[node])[0]
+            for nb in nbs:
+                if alive[nb]:
+                    current_deg[nb] -= 1
+    return core
+
+
+# ----------------------------------------------------------------------
+# reciprocity and assortativity
+# ----------------------------------------------------------------------
+def reciprocity(snapshot: GraphSnapshot) -> float:
+    """Fraction of directed edges whose reverse edge also exists.
+
+    Zero for a pure DAG-like network (e.g. guarantee relations), high
+    for mutual-interaction networks (e.g. trust graphs).
+    """
+    adj = snapshot.adjacency
+    m = adj.sum()
+    if m == 0:
+        return 0.0
+    return float((adj * adj.T).sum() / m)
+
+
+def degree_assortativity(snapshot: GraphSnapshot) -> float:
+    """Pearson correlation of total degrees across (symmetrized) edges.
+
+    Positive: hubs connect to hubs; negative: hub-and-spoke structure
+    (the common social/web regime).  Returns 0 for degenerate inputs.
+    """
+    sym = snapshot.undirected_adjacency()
+    rows, cols = np.nonzero(np.triu(sym, k=1))
+    if rows.size < 2:
+        return 0.0
+    deg = sym.sum(axis=1)
+    x = np.concatenate([deg[rows], deg[cols]])
+    y = np.concatenate([deg[cols], deg[rows]])
+    if x.std() < 1e-12 or y.std() < 1e-12:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+# ----------------------------------------------------------------------
+# PageRank
+# ----------------------------------------------------------------------
+def pagerank(
+    snapshot: GraphSnapshot,
+    damping: float = 0.85,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Power-iteration PageRank over the directed snapshot.
+
+    Dangling nodes (out-degree 0) redistribute their mass uniformly,
+    the standard convention.  Returns a probability vector of shape
+    ``(N,)``; raises ``ValueError`` on an invalid damping factor and
+    ``RuntimeError`` if power iteration fails to converge.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    n = snapshot.num_nodes
+    adj = snapshot.adjacency
+    out_deg = adj.sum(axis=1)
+    dangling = out_deg == 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        transition = np.where(out_deg[:, None] > 0, adj / out_deg[:, None], 0.0)
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        dangling_mass = rank[dangling].sum() / n
+        new_rank = teleport + damping * (rank @ transition + dangling_mass)
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank
+        rank = new_rank
+    raise RuntimeError(
+        f"PageRank failed to converge within {max_iter} iterations"
+    )
+
+
+# ----------------------------------------------------------------------
+# power-law exponent
+# ----------------------------------------------------------------------
+def power_law_exponent(degrees: np.ndarray, d_min: int = 1) -> float:
+    """MLE power-law exponent of a degree sequence (Clauset et al.).
+
+    .. math:: \\hat{\\alpha} = 1 + n \\big/ \\sum_i \\ln(d_i / (d_{min} - 1/2))
+
+    Degrees below ``d_min`` are discarded.  Returns ``nan`` when no
+    degree reaches ``d_min`` (e.g. an empty graph).
+    """
+    d = np.asarray(degrees, dtype=np.float64)
+    d = d[d >= d_min]
+    if d.size == 0:
+        return float("nan")
+    logs = np.log(d / (d_min - 0.5))
+    s = logs.sum()
+    if s <= 0:
+        return float("nan")
+    return float(1.0 + d.size / s)
+
+
+# ----------------------------------------------------------------------
+# snapshot summary used by the harness
+# ----------------------------------------------------------------------
+def structure_summary(snapshot: GraphSnapshot) -> Dict[str, float]:
+    """All scalar structural properties used in Table I, in one pass."""
+    in_deg = in_degree_sequence(snapshot)
+    out_deg = out_degree_sequence(snapshot)
+    return {
+        "in_ple": power_law_exponent(in_deg),
+        "out_ple": power_law_exponent(out_deg),
+        "wedge_count": float(wedge_count(snapshot)),
+        "nc": float(component_count(snapshot)),
+        "lcc": float(largest_component_size(snapshot)),
+    }

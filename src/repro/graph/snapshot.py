@@ -1,0 +1,127 @@
+"""Single-timestep attributed graph snapshot."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class GraphSnapshot:
+    """One timestep ``G_t(A_t, X_t)`` of a dynamic attributed graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Dense ``(N, N)`` 0/1 matrix; ``adjacency[i, j] = 1`` encodes a
+        directed edge ``i -> j``.  The diagonal must be zero (no
+        self-loops, matching the paper's datasets).
+    attributes:
+        ``(N, F)`` float matrix of node attributes, or ``None`` for a
+        structure-only snapshot (``F = 0``).
+    validate:
+        Run invariant checks (binary adjacency, finite attributes).
+    """
+
+    __slots__ = ("adjacency", "attributes")
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        attributes: Optional[np.ndarray] = None,
+        validate: bool = True,
+    ):
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+        n = adjacency.shape[0]
+        if attributes is None:
+            attributes = np.zeros((n, 0))
+        attributes = np.asarray(attributes, dtype=np.float64)
+        if attributes.ndim != 2 or attributes.shape[0] != n:
+            raise ValueError(
+                f"attributes must be (N, F) with N={n}, got {attributes.shape}"
+            )
+        if validate:
+            uniq = np.unique(adjacency)
+            if not np.all(np.isin(uniq, (0.0, 1.0))):
+                raise ValueError("adjacency must be binary (0/1)")
+            if np.any(np.diag(adjacency) != 0):
+                raise ValueError("self-loops are not allowed")
+            if not np.all(np.isfinite(attributes)):
+                raise ValueError("attributes contain non-finite values")
+        self.adjacency = adjacency
+        self.attributes = attributes
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``N``."""
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in this snapshot."""
+        return int(self.adjacency.sum())
+
+    @property
+    def num_attributes(self) -> int:
+        """Attribute dimensionality ``F``."""
+        return self.attributes.shape[1]
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Directed edge list as ``(src, dst)`` pairs."""
+        rows, cols = np.nonzero(self.adjacency)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree per node, shape ``(N,)``."""
+        return self.adjacency.sum(axis=0)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree per node, shape ``(N,)``."""
+        return self.adjacency.sum(axis=1)
+
+    def degrees(self) -> np.ndarray:
+        """Total (in + out) degree per node."""
+        return self.in_degrees() + self.out_degrees()
+
+    def undirected_adjacency(self) -> np.ndarray:
+        """Symmetrized 0/1 adjacency (used by clustering/coreness metrics)."""
+        sym = np.maximum(self.adjacency, self.adjacency.T)
+        return sym
+
+    def copy(self) -> "GraphSnapshot":
+        """Deep copy (fresh adjacency and attribute arrays)."""
+        return GraphSnapshot(
+            self.adjacency.copy(), self.attributes.copy(), validate=False
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSnapshot):
+            return NotImplemented
+        return np.array_equal(self.adjacency, other.adjacency) and np.array_equal(
+            self.attributes, other.attributes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSnapshot(N={self.num_nodes}, E={self.num_edges}, "
+            f"F={self.num_attributes})"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        attributes: Optional[np.ndarray] = None,
+    ) -> "GraphSnapshot":
+        """Build a snapshot from a directed edge list (ignores self-loops)."""
+        adj = np.zeros((num_nodes, num_nodes))
+        for u, v in edges:
+            if u == v:
+                continue
+            adj[u, v] = 1.0
+        return cls(adj, attributes)

@@ -1,0 +1,104 @@
+"""Temporal edge stream view: ``(u, v, t)`` triples.
+
+The random-walk baselines (TagGen, TGGAN, TIGGER) operate on edge
+streams rather than snapshot tensors; this module provides a lossless
+bridge between the two representations (attributes ride along on the
+snapshot side only — the stream view is structure + time, exactly what
+the paper's walk-based baselines consume).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.dynamic import DynamicAttributedGraph
+from repro.graph.snapshot import GraphSnapshot
+
+
+class TemporalEdgeList:
+    """An ordered multiset of directed temporal edges ``(u, v, t)``."""
+
+    def __init__(self, num_nodes: int, num_timesteps: int,
+                 edges: Sequence[Tuple[int, int, int]] = ()):
+        self.num_nodes = int(num_nodes)
+        self.num_timesteps = int(num_timesteps)
+        self.edges: List[Tuple[int, int, int]] = []
+        for u, v, t in edges:
+            self.add(u, v, t)
+
+    def add(self, u: int, v: int, t: int) -> None:
+        """Append edge ``(u, v, t)`` after range checks; self-loops are dropped."""
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise ValueError(f"edge endpoints ({u}, {v}) out of range")
+        if not 0 <= t < self.num_timesteps:
+            raise ValueError(f"timestep {t} out of range 0..{self.num_timesteps - 1}")
+        if u == v:
+            return
+        self.edges.append((int(u), int(v), int(t)))
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self):
+        return iter(self.edges)
+
+    # ------------------------------------------------------------------
+    def edges_at(self, t: int) -> List[Tuple[int, int]]:
+        """Directed ``(src, dst)`` pairs active at timestep ``t``."""
+        return [(u, v) for u, v, tt in self.edges if tt == t]
+
+    def neighbors_at(self, t: int) -> Dict[int, List[int]]:
+        """Out-neighbour adjacency map for timestep ``t``."""
+        adj: Dict[int, List[int]] = {}
+        for u, v, tt in self.edges:
+            if tt == t:
+                adj.setdefault(u, []).append(v)
+        return adj
+
+    def temporal_neighbors(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Map node -> list of (neighbour, time) over out-edges (all t)."""
+        adj: Dict[int, List[Tuple[int, int]]] = {}
+        for u, v, t in self.edges:
+            adj.setdefault(u, []).append((v, t))
+        return adj
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dynamic_graph(cls, graph: DynamicAttributedGraph) -> "TemporalEdgeList":
+        """Flatten snapshots into the stream view (deduplicated per step)."""
+        tel = cls(graph.num_nodes, graph.num_timesteps)
+        for t, snap in enumerate(graph):
+            for u, v in snap.edges():
+                tel.add(u, v, t)
+        return tel
+
+    def to_dynamic_graph(
+        self, attributes: np.ndarray | None = None
+    ) -> DynamicAttributedGraph:
+        """Re-bucket edges by timestep into snapshots.
+
+        ``attributes`` is an optional ``(T, N, F)`` tensor attached
+        verbatim (the stream itself carries no attributes).
+        """
+        snaps = []
+        for t in range(self.num_timesteps):
+            adj = np.zeros((self.num_nodes, self.num_nodes))
+            for u, v in self.edges_at(t):
+                adj[u, v] = 1.0
+            attr = None if attributes is None else attributes[t]
+            snaps.append(GraphSnapshot(adj, attr))
+        return DynamicAttributedGraph(snaps)
+
+    def subsample(self, max_edges: int, rng: np.random.Generator) -> "TemporalEdgeList":
+        """Uniformly subsample at most ``max_edges`` temporal edges.
+
+        Used by the scalability benches (Tables III/IV) which sweep the
+        number of temporal edges drawn from GDELT.
+        """
+        if len(self.edges) <= max_edges:
+            return TemporalEdgeList(self.num_nodes, self.num_timesteps, self.edges)
+        idx = rng.choice(len(self.edges), size=max_edges, replace=False)
+        picked = [self.edges[i] for i in sorted(idx.tolist())]
+        return TemporalEdgeList(self.num_nodes, self.num_timesteps, picked)

@@ -1,0 +1,97 @@
+"""Evaluation metrics (paper §IV-A2).
+
+Three families:
+
+* **Graph structure metrics** — MMD between degree / clustering
+  distributions, plus average percentage discrepancy (Eq. 19) of
+  power-law exponents, wedge counts, component counts and LCC size.
+* **Node attribute metrics** — Jensen–Shannon divergence, Earth Mover's
+  Distance, and mean absolute error of Spearman correlation matrices
+  (Table II).
+* **Difference metrics** — consecutive-snapshot differences of degree,
+  clustering, coreness (Eq. 20) and attribute MAE/RMSE (Eq. 21),
+  producing the series plotted in Figures 4–8.
+* **Motif metrics** — directed triad census, temporal motif transition
+  dynamics and motif-profile discrepancy (:mod:`repro.metrics.motifs`),
+  the substructure view Dymond models.
+* **Privacy metrics** — edge/fingerprint/attribute leakage checks for
+  synthetic release (:mod:`repro.metrics.privacy`), the paper's §I
+  anonymization motivation made measurable.
+"""
+
+from repro.metrics.mmd import gaussian_mmd, histogram_mmd
+from repro.metrics.structure import (
+    average_discrepancy,
+    clustering_distribution_mmd,
+    degree_distribution_mmd,
+    structure_metric_table,
+)
+from repro.metrics.attributes import (
+    attribute_emd,
+    attribute_jsd,
+    earth_movers_distance,
+    jensen_shannon_divergence,
+    spearman_correlation_mae,
+)
+from repro.metrics.difference import (
+    attribute_difference_series,
+    difference_alignment_error,
+    structure_difference_series,
+)
+from repro.metrics.extended import (
+    attribute_autocorrelation,
+    attribute_ks,
+    attribute_structure_coupling,
+    correlation_matrix_distance,
+    extended_attribute_report,
+    pagerank_divergence,
+)
+from repro.metrics.privacy import (
+    attribute_nn_distance,
+    degree_sequence_uniqueness,
+    edge_overlap,
+    expected_chance_overlap,
+    privacy_report,
+)
+from repro.metrics.motifs import (
+    TRIAD_NAMES,
+    motif_count_series,
+    motif_discrepancy,
+    motif_persistence,
+    motif_transition_matrix,
+    triad_census,
+)
+
+__all__ = [
+    "edge_overlap",
+    "expected_chance_overlap",
+    "attribute_nn_distance",
+    "degree_sequence_uniqueness",
+    "privacy_report",
+    "TRIAD_NAMES",
+    "triad_census",
+    "motif_count_series",
+    "motif_transition_matrix",
+    "motif_persistence",
+    "motif_discrepancy",
+    "gaussian_mmd",
+    "histogram_mmd",
+    "degree_distribution_mmd",
+    "clustering_distribution_mmd",
+    "average_discrepancy",
+    "structure_metric_table",
+    "attribute_jsd",
+    "attribute_emd",
+    "jensen_shannon_divergence",
+    "earth_movers_distance",
+    "spearman_correlation_mae",
+    "structure_difference_series",
+    "attribute_difference_series",
+    "difference_alignment_error",
+    "attribute_ks",
+    "attribute_autocorrelation",
+    "attribute_structure_coupling",
+    "correlation_matrix_distance",
+    "extended_attribute_report",
+    "pagerank_divergence",
+]

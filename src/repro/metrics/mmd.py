@@ -1,0 +1,61 @@
+"""Maximum Mean Discrepancy estimators.
+
+The paper follows CPGAN [58] in comparing degree / clustering
+distributions with MMD.  Two estimators are provided:
+
+* :func:`gaussian_mmd` — biased V-statistic MMD² with an RBF kernel on
+  raw samples.
+* :func:`histogram_mmd` — MMD² between two normalized histograms under
+  a Gaussian kernel on the bin grid (the standard GraphRNN-style
+  implementation for integer-valued distributions such as degrees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_mmd(x: np.ndarray, y: np.ndarray, sigma: float = 1.0) -> float:
+    """Biased MMD² between samples ``x`` and ``y`` with an RBF kernel.
+
+    Always >= 0 (up to float error, clamped), 0 iff identical samples.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) == 0 or len(y) == 0:
+        return float("nan")
+    x = x.reshape(len(x), -1)
+    y = y.reshape(len(y), -1)
+
+    def kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(-1)
+        return np.exp(-sq / (2.0 * sigma**2))
+
+    kxx = kernel(x, x).mean()
+    kyy = kernel(y, y).mean()
+    kxy = kernel(x, y).mean()
+    return float(max(kxx + kyy - 2.0 * kxy, 0.0))
+
+
+def histogram_mmd(p: np.ndarray, q: np.ndarray, sigma: float = 1.0) -> float:
+    """MMD² between two discrete distributions on a shared integer grid.
+
+    ``p`` and ``q`` are histogram probability vectors (padded to equal
+    length); the kernel is Gaussian in the bin index.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    size = max(len(p), len(q))
+    if size == 0:
+        return float("nan")
+    p = np.pad(p, (0, size - len(p)))
+    q = np.pad(q, (0, size - len(q)))
+    sp, sq = p.sum(), q.sum()
+    if sp > 0:
+        p = p / sp
+    if sq > 0:
+        q = q / sq
+    grid = np.arange(size, dtype=np.float64)
+    k = np.exp(-((grid[:, None] - grid[None, :]) ** 2) / (2.0 * sigma**2))
+    diff = p - q
+    return float(max(diff @ k @ diff, 0.0))

@@ -1,0 +1,36 @@
+"""Neural-network building blocks on top of :mod:`repro.autodiff`.
+
+Provides the layers VRDAG and the deep baselines are composed of:
+
+* :class:`Module` / :class:`Parameter` — the container protocol.
+* :class:`Linear`, :class:`MLP` — dense layers.
+* :class:`GRUCell` — the recurrence state updater substrate (§III-D).
+* :class:`GINLayer` — the bi-flow encoder's message-passing unit (Eq. 5).
+* :class:`GATLayer` — the attribute decoder's attention network (Eq. 12).
+* :class:`Time2Vec` — the periodic time embedding (Eq. 13).
+* :mod:`repro.nn.optim` — SGD and Adam.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear, MLP
+from repro.nn.gru import GRUCell
+from repro.nn.gin import GINLayer
+from repro.nn.attention import GATLayer
+from repro.nn.time2vec import Time2Vec
+from repro.nn import init, optim
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "GRUCell",
+    "GINLayer",
+    "GATLayer",
+    "Time2Vec",
+    "init",
+    "optim",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,30 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform init for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int, negative_slope: float = 0.2
+) -> np.ndarray:
+    """He/Kaiming uniform init, suited to (leaky-)ReLU layers."""
+    gain = np.sqrt(2.0 / (1.0 + negative_slope**2))
+    limit = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero array of the given shape."""
+    return np.zeros(shape)
+
+
+def normal(rng: np.random.Generator, *shape: int, std: float = 0.02) -> np.ndarray:
+    """Gaussian init with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,115 @@
+"""First-order optimizers: SGD (with momentum) and Adam."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: Iterable[Parameter]):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for p in self.params:
+            p.grad = None
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Globally rescale gradients to at most ``max_norm`` (L2).
+
+        Returns the pre-clip norm.  Parameters without gradients are
+        skipped (they did not participate in the loss this step).
+        """
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        total = float(np.sqrt(total))
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+        return total
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one update step; subclasses must override."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """One (momentum) SGD update over all parameters with gradients."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """One bias-corrected Adam update over all parameters with gradients."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1.0 - b1**self._t
+        bc2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

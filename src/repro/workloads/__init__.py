@@ -1,0 +1,36 @@
+"""Graph query workloads over dynamic attributed graphs (§I motivation 1).
+
+The paper motivates graph generation first and foremost as *benchmark
+data for graph processing systems*: a DBMS vendor needs representative
+data **and workloads**.  This package supplies the workload half:
+
+* :class:`GraphQueryEngine` — an adjacency-indexed, in-memory query
+  engine over a :class:`~repro.graph.dynamic.DynamicAttributedGraph`
+  (neighbour lookups, k-hop expansion, triangle counting, attribute
+  range scans, time-respecting reachability, top-degree queries).
+* :class:`WorkloadConfig` / :class:`WorkloadGenerator` — Zipf-skewed
+  query mixes mirroring OLTP-style graph workloads.
+* :func:`execute_workload` — run a workload and collect the per-class
+  latency/result profile used to compare engines on original vs
+  synthetic data.
+"""
+
+from repro.workloads.engine import GraphQueryEngine
+from repro.workloads.generator import (
+    Query,
+    QueryKind,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadReport,
+    execute_workload,
+)
+
+__all__ = [
+    "GraphQueryEngine",
+    "Query",
+    "QueryKind",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadReport",
+    "execute_workload",
+]

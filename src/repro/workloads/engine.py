@@ -1,0 +1,213 @@
+"""In-memory graph query engine over dynamic attributed graphs.
+
+A deliberately small but real engine: per-snapshot CSR adjacency
+indexes (forward and reverse) built lazily on first touch, plus
+per-snapshot sorted attribute indexes for range scans.  Query methods
+cover the access patterns graph databases are benchmarked on —
+point lookups, traversals, pattern counting, analytics and temporal
+reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graph.dynamic import DynamicAttributedGraph
+
+
+class _SnapshotIndex:
+    """CSR forward/reverse adjacency for one snapshot."""
+
+    __slots__ = ("fwd_indptr", "fwd_indices", "rev_indptr", "rev_indices")
+
+    def __init__(self, adjacency: np.ndarray):
+        self.fwd_indptr, self.fwd_indices = self._csr(adjacency)
+        self.rev_indptr, self.rev_indices = self._csr(adjacency.T)
+
+    @staticmethod
+    def _csr(adjacency: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        n = adjacency.shape[0]
+        src, dst = np.nonzero(adjacency)
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return indptr, dst.astype(np.int64)
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        return self.fwd_indices[self.fwd_indptr[v]:self.fwd_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        return self.rev_indices[self.rev_indptr[v]:self.rev_indptr[v + 1]]
+
+
+class GraphQueryEngine:
+    """Query engine over a :class:`DynamicAttributedGraph`.
+
+    Indexes are built lazily per snapshot and cached; the engine never
+    mutates the underlying graph.
+    """
+
+    def __init__(self, graph: DynamicAttributedGraph):
+        self.graph = graph
+        self._snapshot_index: Dict[int, _SnapshotIndex] = {}
+        self._attr_order: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _check_t(self, t: int) -> None:
+        if not 0 <= t < self.graph.num_timesteps:
+            raise IndexError(
+                f"timestep {t} out of range 0..{self.graph.num_timesteps - 1}"
+            )
+
+    def _check_v(self, v: int) -> None:
+        if not 0 <= v < self.graph.num_nodes:
+            raise IndexError(
+                f"node {v} out of range 0..{self.graph.num_nodes - 1}"
+            )
+
+    def _index(self, t: int) -> _SnapshotIndex:
+        self._check_t(t)
+        if t not in self._snapshot_index:
+            self._snapshot_index[t] = _SnapshotIndex(self.graph[t].adjacency)
+        return self._snapshot_index[t]
+
+    # ------------------------------------------------------------------
+    # point lookups and traversals
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int, t: int) -> List[int]:
+        """Out-neighbour ids of ``v`` in snapshot ``t`` (sorted)."""
+        self._check_v(v)
+        return self._index(t).out_neighbors(v).tolist()
+
+    def in_neighbors(self, v: int, t: int) -> List[int]:
+        """In-neighbour ids of ``v`` in snapshot ``t`` (sorted)."""
+        self._check_v(v)
+        return self._index(t).in_neighbors(v).tolist()
+
+    def has_edge(self, u: int, v: int, t: int) -> bool:
+        """Whether the directed edge ``u -> v`` exists in snapshot ``t``."""
+        self._check_v(u)
+        self._check_v(v)
+        idx = self._index(t)
+        row = idx.out_neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < len(row) and row[pos] == v)
+
+    def k_hop(self, v: int, t: int, k: int, directed: bool = True) -> Set[int]:
+        """Nodes reachable from ``v`` within ``k`` hops in snapshot ``t``.
+
+        ``v`` itself is excluded.  ``directed=False`` traverses the
+        symmetrized graph.
+        """
+        self._check_v(v)
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        idx = self._index(t)
+        frontier = {v}
+        seen = {v}
+        for _ in range(k):
+            nxt: Set[int] = set()
+            for u in frontier:
+                nxt.update(idx.out_neighbors(u).tolist())
+                if not directed:
+                    nxt.update(idx.in_neighbors(u).tolist())
+            frontier = nxt - seen
+            if not frontier:
+                break
+            seen |= frontier
+        seen.discard(v)
+        return seen
+
+    # ------------------------------------------------------------------
+    # pattern / analytic queries
+    # ------------------------------------------------------------------
+    def triangle_count(self, t: int) -> int:
+        """Undirected triangle count of snapshot ``t``."""
+        a = self.graph[t].undirected_adjacency()
+        return int(np.trace(a @ a @ a) / 6)
+
+    def degree_topk(self, t: int, k: int, direction: str = "out") -> List[int]:
+        """The ``k`` highest-degree node ids (ties by id, ascending)."""
+        self._check_t(t)
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        snap = self.graph[t]
+        if direction == "out":
+            deg = snap.out_degrees()
+        elif direction == "in":
+            deg = snap.in_degrees()
+        elif direction == "total":
+            deg = snap.degrees()
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+        order = np.lexsort((np.arange(len(deg)), -deg))
+        return order[:k].tolist()
+
+    def attribute_range(
+        self, t: int, dim: int, lo: float, hi: float
+    ) -> List[int]:
+        """Node ids with attribute ``dim`` in ``[lo, hi]`` at ``t`` (sorted index scan)."""
+        self._check_t(t)
+        if not 0 <= dim < self.graph.num_attributes:
+            raise IndexError(
+                f"attribute {dim} out of range 0..{self.graph.num_attributes - 1}"
+            )
+        key = (t, dim)
+        values = self.graph[t].attributes[:, dim]
+        if key not in self._attr_order:
+            self._attr_order[key] = np.argsort(values, kind="stable")
+        order = self._attr_order[key]
+        sorted_vals = values[order]
+        left = np.searchsorted(sorted_vals, lo, side="left")
+        right = np.searchsorted(sorted_vals, hi, side="right")
+        return sorted(order[left:right].tolist())
+
+    # ------------------------------------------------------------------
+    # temporal queries
+    # ------------------------------------------------------------------
+    def temporal_reachable(
+        self, u: int, v: int, t0: int, t1: int
+    ) -> bool:
+        """Time-respecting reachability: can ``u`` reach ``v`` using edges
+        of snapshots ``t0..t1`` in non-decreasing snapshot order?
+
+        At each snapshot the frontier may expand through any number of
+        that snapshot's edges (edges within one window are concurrent).
+        """
+        self._check_v(u)
+        self._check_v(v)
+        self._check_t(t0)
+        self._check_t(t1)
+        if t1 < t0:
+            raise ValueError(f"empty time window [{t0}, {t1}]")
+        if u == v:
+            return True
+        reached = {u}
+        for t in range(t0, t1 + 1):
+            idx = self._index(t)
+            frontier = set(reached)
+            while frontier:
+                nxt: Set[int] = set()
+                for w in frontier:
+                    for x in idx.out_neighbors(w).tolist():
+                        if x not in reached:
+                            nxt.add(x)
+                if v in nxt:
+                    return True
+                reached |= nxt
+                frontier = nxt
+        return v in reached
+
+    def edge_persistence(self, u: int, v: int) -> float:
+        """Fraction of snapshots containing the edge ``u -> v``."""
+        self._check_v(u)
+        self._check_v(v)
+        hits = sum(
+            1 for t in range(self.graph.num_timesteps)
+            if self.graph[t].adjacency[u, v] > 0
+        )
+        return hits / self.graph.num_timesteps

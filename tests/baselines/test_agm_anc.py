@@ -1,0 +1,153 @@
+"""Tests for the AGM and ANC related-work attributed baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AGM, ANC
+from repro.datasets import CoEvolutionConfig, generate_co_evolving_graph
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+
+
+def structure_only_graph():
+    rng = np.random.default_rng(3)
+    adj = (rng.random((4, 10, 10)) < 0.2).astype(float)
+    for t in range(4):
+        np.fill_diagonal(adj[t], 0.0)
+    return DynamicAttributedGraph.from_tensors(adj)
+
+
+class TestAGM:
+    def test_requires_fit(self, tiny_graph):
+        with pytest.raises(RuntimeError, match="before fit"):
+            AGM(seed=0).generate(3)
+
+    def test_rejects_bad_oversample(self):
+        with pytest.raises(ValueError, match="oversample"):
+            AGM(oversample=0.5)
+
+    def test_generates_valid_sequence(self, tiny_graph):
+        out = AGM(seed=0).fit(tiny_graph).generate(tiny_graph.num_timesteps, seed=1)
+        assert out.num_timesteps == tiny_graph.num_timesteps
+        assert out.num_nodes == tiny_graph.num_nodes
+        assert out.num_attributes == tiny_graph.num_attributes
+        for snap in out:
+            assert np.all(np.diag(snap.adjacency) == 0)
+            assert set(np.unique(snap.adjacency)) <= {0.0, 1.0}
+
+    def test_edge_count_tracks_original(self, tiny_graph):
+        out = AGM(seed=0).fit(tiny_graph).generate(tiny_graph.num_timesteps, seed=1)
+        per_step = tiny_graph.num_temporal_edges / tiny_graph.num_timesteps
+        gen_per_step = out.num_temporal_edges / out.num_timesteps
+        assert gen_per_step <= per_step + 1  # accept/reject can only thin
+        assert gen_per_step > 0.3 * per_step
+
+    def test_attributes_resampled_from_pool(self, tiny_graph):
+        gen = AGM(seed=0).fit(tiny_graph)
+        out = gen.generate(2, seed=5)
+        pool = {tuple(row) for row in tiny_graph.attribute_tensor().reshape(
+            -1, tiny_graph.num_attributes).round(9).tolist()}
+        for snap in out:
+            for row in snap.attributes.round(9).tolist():
+                assert tuple(row) in pool
+
+    def test_acceptance_table_shape_and_range(self, tiny_graph):
+        gen = AGM(seed=0).fit(tiny_graph)
+        table = gen.acceptance_table()
+        b = 1 << min(tiny_graph.num_attributes, 4)
+        assert table.shape == (b, b)
+        assert np.all(table >= 0)
+        assert np.all(np.isfinite(table))
+
+    def test_structure_only_graph_supported(self):
+        g = structure_only_graph()
+        out = AGM(seed=0).fit(g).generate(g.num_timesteps, seed=2)
+        assert out.num_attributes == 0
+        assert out.num_temporal_edges > 0
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        gen = AGM(seed=0).fit(tiny_graph)
+        a = gen.generate(3, seed=9)
+        b = gen.generate(3, seed=9)
+        assert a == b
+
+    def test_homophilous_graph_learns_coupling(self):
+        """On a graph where edges strongly follow attribute sign, the
+        acceptance table must favour like-signed bin pairs."""
+        rng = np.random.default_rng(0)
+        n = 30
+        x = np.concatenate([rng.normal(-2, 0.3, (15, 1)),
+                            rng.normal(2, 0.3, (15, 1))])
+        adj = np.zeros((n, n))
+        for _ in range(120):
+            u, v = rng.integers(0, 15, 2)  # only low-group edges
+            if u != v:
+                adj[u, v] = 1.0
+        snaps = [GraphSnapshot(adj, x) for _ in range(3)]
+        g = DynamicAttributedGraph(snaps)
+        table = AGM(seed=0).fit(g).acceptance_table()
+        assert table[0, 0] > table[1, 1]
+        assert table[0, 0] > table[0, 1]
+
+
+class TestANC:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError, match="num_communities"):
+            ANC(num_communities=0)
+        with pytest.raises(ValueError, match="homophily"):
+            ANC(homophily=-1)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            ANC(seed=0).generate(2)
+
+    def test_generates_valid_sequence(self, tiny_graph):
+        out = ANC(seed=0).fit(tiny_graph).generate(tiny_graph.num_timesteps, seed=1)
+        assert out.num_timesteps == tiny_graph.num_timesteps
+        assert out.num_attributes == tiny_graph.num_attributes
+        for snap in out:
+            assert np.all(np.diag(snap.adjacency) == 0)
+
+    def test_community_labels_partition_nodes(self, tiny_graph):
+        gen = ANC(num_communities=3, seed=0).fit(tiny_graph)
+        labels = gen.community_labels()
+        assert labels.shape == (tiny_graph.num_nodes,)
+        assert labels.max() < 3
+
+    def test_within_community_edges_dominate(self):
+        """Fitted on a strongly modular graph, generation must keep most
+        edges inside communities."""
+        cfg = CoEvolutionConfig(
+            num_nodes=40, num_timesteps=4, num_attributes=2,
+            edges_per_step=120, num_communities=2,
+        )
+        g = generate_co_evolving_graph(cfg, seed=0)
+        gen = ANC(num_communities=2, seed=0).fit(g)
+        labels = gen.community_labels()
+        out = gen.generate(4, seed=1)
+        within = between = 0
+        for snap in out:
+            src, dst = np.nonzero(snap.adjacency)
+            same = labels[src] == labels[dst]
+            within += int(same.sum())
+            between += int((~same).sum())
+        assert within > between
+
+    def test_attribute_moments_track_original(self, tiny_graph):
+        out = ANC(seed=0).fit(tiny_graph).generate(6, seed=1)
+        x0 = tiny_graph.attribute_tensor()
+        x1 = out.attribute_tensor()
+        assert abs(x0.mean() - x1.mean()) < 2 * x0.std()
+
+    def test_structure_only_graph_supported(self):
+        g = structure_only_graph()
+        out = ANC(seed=0).fit(g).generate(2, seed=3)
+        assert out.num_attributes == 0
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        gen = ANC(seed=0).fit(tiny_graph)
+        assert gen.generate(3, seed=4) == gen.generate(3, seed=4)
+
+    def test_edge_rate_tracks_original(self, tiny_graph):
+        out = ANC(seed=0).fit(tiny_graph).generate(tiny_graph.num_timesteps, seed=1)
+        orig = tiny_graph.num_temporal_edges
+        assert 0.3 * orig < out.num_temporal_edges < 2.5 * orig

@@ -1,0 +1,82 @@
+"""Classic random-graph generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.classic import (
+    BarabasiAlbert,
+    ErdosRenyi,
+    KroneckerGraph,
+    StochasticBlockModel,
+)
+from repro.graph import properties as props
+
+ALL_CLASSIC = [ErdosRenyi, BarabasiAlbert, StochasticBlockModel, KroneckerGraph]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSIC)
+class TestClassicContract:
+    def test_fit_generate_valid(self, cls, tiny_graph):
+        gen = cls(seed=0).fit(tiny_graph)
+        out = gen.generate(3, seed=1)
+        assert out.num_nodes == tiny_graph.num_nodes
+        assert out.num_timesteps == 3
+        for snap in out:
+            assert set(np.unique(snap.adjacency)) <= {0.0, 1.0}
+            assert np.all(np.diag(snap.adjacency) == 0)
+
+    def test_requires_fit(self, cls):
+        with pytest.raises(RuntimeError):
+            cls(seed=0).generate(2)
+
+    def test_deterministic(self, cls, tiny_graph):
+        gen = cls(seed=0).fit(tiny_graph)
+        assert gen.generate(2, seed=3) == gen.generate(2, seed=3)
+
+
+class TestErdosRenyi:
+    def test_density_matched(self, tiny_graph):
+        gen = ErdosRenyi(seed=0).fit(tiny_graph)
+        out = gen.generate(20, seed=1)
+        target = tiny_graph.num_temporal_edges / tiny_graph.num_timesteps
+        actual = out.num_temporal_edges / out.num_timesteps
+        assert abs(actual - target) < 0.5 * target
+
+    def test_no_degree_heavy_tail(self, tiny_graph):
+        gen = ErdosRenyi(seed=0).fit(tiny_graph)
+        out = gen.generate(1, seed=1)
+        deg = out[0].in_degrees()
+        # ER degrees concentrate: max close to mean
+        assert deg.max() < deg.mean() + 6 * np.sqrt(max(deg.mean(), 1))
+
+
+class TestBarabasiAlbert:
+    def test_heavier_tail_than_er(self, tiny_graph):
+        ba = BarabasiAlbert(seed=0).fit(tiny_graph).generate(1, seed=1)
+        er = ErdosRenyi(seed=0).fit(tiny_graph).generate(1, seed=1)
+        ba_max = ba[0].in_degrees().max() / max(ba[0].in_degrees().mean(), 1)
+        er_max = er[0].in_degrees().max() / max(er[0].in_degrees().mean(), 1)
+        assert ba_max > er_max
+
+
+class TestSBM:
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            StochasticBlockModel(num_blocks=0)
+
+    def test_block_probabilities_valid(self, tiny_graph):
+        gen = StochasticBlockModel(num_blocks=3, seed=0).fit(tiny_graph)
+        assert np.all((gen._block_p >= 0) & (gen._block_p <= 1))
+
+
+class TestKronecker:
+    def test_power_of_two_cover(self, tiny_graph):
+        gen = KroneckerGraph(seed=0).fit(tiny_graph)
+        assert 2**gen._k >= tiny_graph.num_nodes
+
+    def test_rough_edge_count(self, tiny_graph):
+        gen = KroneckerGraph(seed=0).fit(tiny_graph)
+        out = gen.generate(5, seed=1)
+        per_step = out.num_temporal_edges / 5
+        target = tiny_graph.num_temporal_edges / tiny_graph.num_timesteps
+        assert per_step < 5 * target + 20

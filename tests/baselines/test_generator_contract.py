@@ -1,0 +1,72 @@
+"""Contract tests every generator must satisfy (incl. VRDAG adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Dymond,
+    GenCAT,
+    GRAN,
+    NormalAttributeGenerator,
+    TagGen,
+    TGGAN,
+    TIGGER,
+)
+from repro.eval.harness import VRDAGGenerator
+from repro.graph import DynamicAttributedGraph
+
+GENERATORS = [
+    ("Normal", lambda: NormalAttributeGenerator(seed=1)),
+    ("GenCAT", lambda: GenCAT(seed=1)),
+    ("GRAN", lambda: GRAN(epochs=5, seed=1)),
+    ("TagGen", lambda: TagGen(walks_per_edge=1.0, seed=1)),
+    ("TGGAN", lambda: TGGAN(walks_per_edge=1.0, adversarial_rounds=1,
+                            disc_epochs=3, seed=1)),
+    ("TIGGER", lambda: TIGGER(walks_per_edge=1.0, epochs=2, seed=1)),
+    ("Dymond", lambda: Dymond(seed=1)),
+    ("VRDAG", lambda: VRDAGGenerator(epochs=2, hidden_dim=8, latent_dim=4,
+                                     encode_dim=8, seed=1)),
+]
+
+
+@pytest.fixture(params=GENERATORS, ids=[name for name, _ in GENERATORS])
+def generator(request):
+    return request.param[1]()
+
+
+class TestGeneratorContract:
+    def test_generate_before_fit_raises(self, generator):
+        with pytest.raises(RuntimeError, match="before fit"):
+            generator.generate(3)
+
+    def test_fit_returns_self(self, generator, tiny_graph):
+        assert generator.fit(tiny_graph) is generator
+        assert generator.fitted
+
+    def test_output_is_valid_dynamic_graph(self, generator, tiny_graph):
+        generator.fit(tiny_graph)
+        out = generator.generate(tiny_graph.num_timesteps)
+        assert isinstance(out, DynamicAttributedGraph)
+        assert out.num_nodes == tiny_graph.num_nodes
+        assert out.num_timesteps == tiny_graph.num_timesteps
+        assert out.num_attributes == tiny_graph.num_attributes
+        for snap in out:
+            assert set(np.unique(snap.adjacency)) <= {0.0, 1.0}
+            assert np.all(np.diag(snap.adjacency) == 0)
+            assert np.all(np.isfinite(snap.attributes))
+
+    def test_generation_deterministic_under_seed(self, generator, tiny_graph):
+        generator.fit(tiny_graph)
+        g1 = generator.generate(2, seed=9)
+        g2 = generator.generate(2, seed=9)
+        assert g1 == g2
+
+    def test_shorter_horizon(self, generator, tiny_graph):
+        generator.fit(tiny_graph)
+        out = generator.generate(2)
+        assert out.num_timesteps == 2
+
+    def test_longer_horizon(self, generator, tiny_graph):
+        generator.fit(tiny_graph)
+        out = generator.generate(tiny_graph.num_timesteps + 2)
+        assert out.num_timesteps == tiny_graph.num_timesteps + 2

@@ -1,0 +1,66 @@
+"""Properties of the whitened AR(1) noise process used at generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import _Ar1State
+
+
+def run_chain(rho, steps, shape=(2000,), seed=0):
+    rng = np.random.default_rng(seed)
+    state = _Ar1State(rho)
+    return np.stack([state.step(shape, rng) for _ in range(steps)])
+
+
+class TestAr1State:
+    def test_rho_zero_is_white(self):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        state = _Ar1State(0.0)
+        draws = [state.step((5,), rng1) for _ in range(4)]
+        whites = [rng2.standard_normal((5,)) for _ in range(4)]
+        for d, w in zip(draws, whites):
+            np.testing.assert_array_equal(d, w)
+
+    @pytest.mark.parametrize("rho", [0.0, 0.5, 0.9, 0.99])
+    def test_unit_marginal_variance(self, rho):
+        chain = run_chain(rho, steps=40)
+        # every step is marginally N(0, 1)
+        stds = chain.std(axis=1)
+        assert np.all(np.abs(stds - 1.0) < 0.08)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.7, 0.95])
+    def test_lag1_correlation_matches_rho(self, rho):
+        chain = run_chain(rho, steps=30, shape=(5000,))
+        corrs = [
+            np.corrcoef(chain[t], chain[t + 1])[0, 1]
+            for t in range(chain.shape[0] - 1)
+        ]
+        assert np.mean(corrs) == pytest.approx(rho, abs=0.05)
+
+    def test_first_step_is_pure_innovation(self):
+        rng = np.random.default_rng(0)
+        state = _Ar1State(0.9)
+        first = state.step((1000,), rng)
+        assert abs(first.std() - 1.0) < 0.1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rho=st.floats(0.0, 0.99, allow_nan=False),
+    seed=st.integers(0, 1000),
+)
+def test_property_marginal_preserved_for_any_rho(rho, seed):
+    chain = run_chain(rho, steps=15, shape=(1500,), seed=seed)
+    assert np.all(np.abs(chain.std(axis=1) - 1.0) < 0.12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rho=st.floats(0.5, 0.99, allow_nan=False), seed=st.integers(0, 1000))
+def test_property_consecutive_difference_shrinks(rho, seed):
+    """E[(w_{t+1} - w_t)^2] = 2(1 - rho) — smoothness scales with rho."""
+    chain = run_chain(rho, steps=25, shape=(3000,), seed=seed)
+    msd = ((chain[1:] - chain[:-1]) ** 2).mean()
+    assert msd == pytest.approx(2 * (1 - rho), rel=0.25, abs=0.02)

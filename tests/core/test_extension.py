@@ -1,0 +1,155 @@
+"""§III-H node addition/deletion extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import NodeDynamicsWrapper, TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+
+
+@pytest.fixture
+def trained_model(tiny_graph):
+    cfg = VRDAGConfig(
+        num_nodes=tiny_graph.num_nodes,
+        num_attributes=tiny_graph.num_attributes,
+        hidden_dim=8, latent_dim=4, encode_dim=8, time_dim=4, seed=0,
+    )
+    model = VRDAG(cfg)
+    VRDAGTrainer(model, TrainConfig(epochs=3)).fit(tiny_graph)
+    return model
+
+
+class TestValidation:
+    def test_bad_threshold(self, trained_model):
+        with pytest.raises(ValueError):
+            NodeDynamicsWrapper(trained_model, deletion_threshold=0)
+
+    def test_bad_rate(self, trained_model):
+        with pytest.raises(ValueError):
+            NodeDynamicsWrapper(trained_model, arrival_rate=-1.0)
+
+
+class TestArrivalEstimation:
+    def test_no_arrivals_for_always_active(self):
+        adj = np.zeros((4, 4))
+        adj[0, 1] = adj[1, 2] = adj[2, 3] = adj[3, 0] = 1.0
+        g = DynamicAttributedGraph([GraphSnapshot(adj)] * 3)
+        assert NodeDynamicsWrapper.estimate_arrival_rate(g) == 0.0
+
+    def test_staggered_arrivals(self):
+        n = 6
+        snaps = []
+        for t in range(3):
+            adj = np.zeros((n, n))
+            # nodes 2t and 2t+1 first become active at step t
+            for k in range(0, 2 * (t + 1), 2):
+                adj[k, k + 1] = 1.0
+            snaps.append(GraphSnapshot(adj))
+        g = DynamicAttributedGraph(snaps)
+        assert NodeDynamicsWrapper.estimate_arrival_rate(g) == pytest.approx(2.0)
+
+    def test_single_snapshot_zero(self):
+        g = DynamicAttributedGraph([GraphSnapshot(np.zeros((3, 3)))])
+        assert NodeDynamicsWrapper.estimate_arrival_rate(g) == 0.0
+
+
+class TestGeneration:
+    def test_shapes_and_masks(self, trained_model):
+        wrapper = NodeDynamicsWrapper(trained_model, arrival_rate=1.0)
+        graph, masks = wrapper.generate(4, initial_active=8, seed=3)
+        assert graph.num_timesteps == 4
+        assert masks.shape == (4, trained_model.config.num_nodes)
+        assert masks.dtype == bool
+
+    def test_inactive_nodes_have_no_edges(self, trained_model):
+        wrapper = NodeDynamicsWrapper(trained_model, arrival_rate=0.0)
+        graph, masks = wrapper.generate(3, initial_active=6, seed=1)
+        for t, snap in enumerate(graph):
+            inactive = ~masks[t]
+            assert snap.adjacency[inactive].sum() == 0
+            assert snap.adjacency[:, inactive].sum() == 0
+
+    def test_node_addition_grows_active_set(self, trained_model):
+        wrapper = NodeDynamicsWrapper(
+            trained_model, arrival_rate=2.0, deletion_threshold=100
+        )
+        _, masks = wrapper.generate(4, initial_active=4, seed=7)
+        assert masks[-1].sum() >= masks[0].sum()
+
+    def test_deletion_removes_isolated(self, trained_model):
+        # no arrivals + threshold 1: an isolated node vanishes next step
+        wrapper = NodeDynamicsWrapper(
+            trained_model, arrival_rate=0.0, deletion_threshold=1
+        )
+        graph, masks = wrapper.generate(4, seed=2)
+        for t in range(1, 4):
+            prev_isolated = masks[t - 1] & (graph[t - 1].degrees() == 0)
+            assert not np.any(prev_isolated & masks[t])
+
+    def test_determinism(self, trained_model):
+        w = NodeDynamicsWrapper(trained_model, arrival_rate=1.0)
+        g1, m1 = w.generate(3, initial_active=8, seed=11)
+        g2, m2 = w.generate(3, initial_active=8, seed=11)
+        assert g1 == g2
+        np.testing.assert_array_equal(m1, m2)
+
+
+class TestFit:
+    def churn_graph(self, trained_model, num_arrivals=6):
+        """Sequence where nodes activate progressively over time."""
+        n = trained_model.config.num_nodes
+        f = trained_model.config.num_attributes
+        rng = np.random.default_rng(5)
+        snaps = []
+        for t in range(4):
+            k = max(2, n - num_arrivals + t * 2)
+            adj = np.zeros((n, n))
+            for _ in range(3 * k):
+                u, v = rng.integers(0, k, 2)
+                if u != v:
+                    adj[u, v] = 1.0
+            snaps.append(GraphSnapshot(adj, rng.normal(size=(n, f))))
+        return DynamicAttributedGraph(snaps)
+
+    def test_fit_sets_arrival_rate(self, trained_model, tiny_graph):
+        wrapper = NodeDynamicsWrapper(trained_model).fit(tiny_graph)
+        assert wrapper.arrival_rate == NodeDynamicsWrapper.estimate_arrival_rate(
+            tiny_graph
+        )
+
+    def test_fit_trains_init_sampler(self, trained_model):
+        graph = self.churn_graph(trained_model)
+        wrapper = NodeDynamicsWrapper(trained_model)
+        before = wrapper.init_mu.weight.data.copy()
+        wrapper.fit(graph)
+        assert not np.array_equal(wrapper.init_mu.weight.data, before)
+        # σ_ω is a constant head after fitting: zero weights, log-std bias
+        assert np.all(wrapper.init_log_sigma.weight.data == 0)
+        assert np.all(np.isfinite(wrapper.init_log_sigma.bias.data))
+
+    def test_fit_no_arrivals_keeps_sampler(self, trained_model):
+        n = trained_model.config.num_nodes
+        f = trained_model.config.num_attributes
+        adj = np.zeros((n, n))
+        adj[np.arange(n), (np.arange(n) + 1) % n] = 1.0  # all active always
+        g = DynamicAttributedGraph(
+            [GraphSnapshot(adj, np.zeros((n, f)))] * 3
+        )
+        wrapper = NodeDynamicsWrapper(trained_model)
+        before = wrapper.init_mu.weight.data.copy()
+        wrapper.fit(g)
+        assert wrapper.arrival_rate == 0.0
+        np.testing.assert_array_equal(wrapper.init_mu.weight.data, before)
+
+    def test_fitted_generation_density_sane(self, trained_model):
+        """Fitted p_ω must not blow up the generated edge density."""
+        graph = self.churn_graph(trained_model)
+        wrapper = NodeDynamicsWrapper(
+            trained_model, deletion_threshold=10
+        ).fit(graph)
+        out, masks = wrapper.generate(
+            4, initial_active=trained_model.config.num_nodes - 4, seed=3
+        )
+        n = trained_model.config.num_nodes
+        density = out.num_temporal_edges / (4 * n * (n - 1))
+        assert density < 0.5

@@ -1,0 +1,73 @@
+"""Model save/load round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.core.persistence import load_model, save_model
+
+
+@pytest.fixture
+def trained(tiny_graph):
+    cfg = VRDAGConfig(
+        num_nodes=tiny_graph.num_nodes,
+        num_attributes=tiny_graph.num_attributes,
+        hidden_dim=8, latent_dim=4, encode_dim=8, time_dim=4, seed=0,
+    )
+    model = VRDAG(cfg)
+    VRDAGTrainer(model, TrainConfig(epochs=2)).fit(tiny_graph)
+    return model
+
+
+class TestPersistence:
+    def test_roundtrip_generates_identically(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        clone = load_model(path)
+        g1 = trained.generate(3, seed=5)
+        g2 = clone.generate(3, seed=5)
+        assert g1 == g2
+
+    def test_config_restored(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        clone = load_model(path)
+        assert clone.config == trained.config
+
+    def test_calibration_restored(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        clone = load_model(path)
+        np.testing.assert_allclose(clone._attr_mean, trained._attr_mean)
+        np.testing.assert_allclose(clone._attr_std, trained._attr_std)
+        np.testing.assert_allclose(
+            clone._attr_noise_chol, trained._attr_noise_chol
+        )
+        np.testing.assert_allclose(
+            clone._attr_target_mean, trained._attr_target_mean
+        )
+
+    def test_noise_autocorrelation_restored(self, trained, tmp_path):
+        trained.set_noise_autocorrelation(0.73)
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        assert load_model(path)._attr_noise_rho == pytest.approx(0.73)
+
+    def test_untrained_model_roundtrip(self, tmp_path):
+        cfg = VRDAGConfig(num_nodes=10, num_attributes=0, hidden_dim=8,
+                          latent_dim=4, encode_dim=8)
+        model = VRDAG(cfg)
+        path = tmp_path / "raw.npz"
+        save_model(model, path)
+        clone = load_model(path)
+        assert clone.generate(2, seed=1) == model.generate(2, seed=1)
+
+    def test_bad_version(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.array(99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)

@@ -1,0 +1,155 @@
+"""Tests for training schedules and their trainer integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.core.schedule import (
+    ConstantSchedule,
+    CosineAnnealing,
+    CyclicalAnnealing,
+    LinearWarmup,
+    Schedule,
+    StepDecay,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        assert ConstantSchedule(0.5).value(0) == 0.5
+        assert ConstantSchedule(0.5).value(100) == 0.5
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError, match="epoch"):
+            ConstantSchedule(1.0).value(-1)
+
+    def test_protocol_conformance(self):
+        assert isinstance(ConstantSchedule(1.0), Schedule)
+
+
+class TestLinearWarmup:
+    def test_ramp(self):
+        sched = LinearWarmup(target=1.0, warmup_epochs=4)
+        assert sched.value(0) == 0.0
+        assert sched.value(2) == pytest.approx(0.5)
+        assert sched.value(4) == 1.0
+        assert sched.value(99) == 1.0
+
+    def test_nonzero_start(self):
+        sched = LinearWarmup(target=2.0, warmup_epochs=2, start=1.0)
+        assert sched.value(1) == pytest.approx(1.5)
+
+    def test_rejects_zero_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            LinearWarmup(1.0, 0)
+
+    def test_repr(self):
+        assert "LinearWarmup" in repr(LinearWarmup(1.0, 3))
+
+
+class TestStepDecay:
+    def test_decay_steps(self):
+        sched = StepDecay(initial=1.0, gamma=0.1, step_epochs=2)
+        assert sched.value(0) == 1.0
+        assert sched.value(1) == 1.0
+        assert sched.value(2) == pytest.approx(0.1)
+        assert sched.value(4) == pytest.approx(0.01)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError, match="gamma"):
+            StepDecay(1.0, 0.0, 1)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        sched = CosineAnnealing(start=1.0, end=0.0, total_epochs=10)
+        assert sched.value(0) == pytest.approx(1.0)
+        assert sched.value(10) == pytest.approx(0.0)
+        assert sched.value(50) == 0.0
+
+    def test_midpoint(self):
+        sched = CosineAnnealing(start=1.0, end=0.0, total_epochs=10)
+        assert sched.value(5) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealing(start=1.0, end=0.1, total_epochs=8)
+        values = [sched.value(e) for e in range(9)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestCyclicalAnnealing:
+    def test_sawtooth(self):
+        sched = CyclicalAnnealing(target=1.0, cycle_epochs=4, ramp_fraction=0.5)
+        assert sched.value(0) == 0.0
+        assert sched.value(1) == pytest.approx(0.5)
+        assert sched.value(2) == 1.0
+        assert sched.value(3) == 1.0
+        assert sched.value(4) == 0.0  # new cycle
+
+    def test_rejects_bad_ramp(self):
+        with pytest.raises(ValueError, match="ramp_fraction"):
+            CyclicalAnnealing(1.0, 4, 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    epoch=st.integers(0, 200),
+    target=st.floats(0.01, 10, allow_nan=False),
+    warmup=st.integers(1, 50),
+)
+def test_property_warmup_bounded(epoch, target, warmup):
+    v = LinearWarmup(target, warmup).value(epoch)
+    assert 0.0 <= v <= target + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(epoch=st.integers(0, 100), cycle=st.integers(1, 20))
+def test_property_cyclical_periodic(epoch, cycle):
+    sched = CyclicalAnnealing(1.0, cycle)
+    assert sched.value(epoch) == pytest.approx(sched.value(epoch + cycle))
+
+
+class TestTrainerIntegration:
+    def make_model(self, graph):
+        cfg = VRDAGConfig(
+            num_nodes=graph.num_nodes,
+            num_attributes=graph.num_attributes,
+            hidden_dim=8,
+            latent_dim=4,
+            encode_dim=8,
+            seed=0,
+        )
+        return VRDAG(cfg)
+
+    def test_lr_schedule_applied(self, tiny_graph):
+        model = self.make_model(tiny_graph)
+        sched = StepDecay(initial=1e-2, gamma=0.5, step_epochs=1)
+        trainer = VRDAGTrainer(
+            model, TrainConfig(epochs=3, lr_schedule=sched)
+        )
+        trainer.fit(tiny_graph)
+        # after the last epoch the optimizer holds the epoch-2 value
+        assert trainer.optimizer.lr == pytest.approx(1e-2 * 0.25)
+
+    def test_kl_schedule_restores_base_weight(self, tiny_graph):
+        model = self.make_model(tiny_graph)
+        base = model.config.kl_weight
+        trainer = VRDAGTrainer(
+            model,
+            TrainConfig(epochs=3, kl_schedule=LinearWarmup(1.0, 10)),
+        )
+        trainer.fit(tiny_graph)
+        assert model.config.kl_weight == base
+
+    def test_kl_warmup_trains_and_generates(self, tiny_graph):
+        model = self.make_model(tiny_graph)
+        trainer = VRDAGTrainer(
+            model,
+            TrainConfig(epochs=4, kl_schedule=LinearWarmup(1.0, 4)),
+        )
+        result = trainer.fit(tiny_graph)
+        assert len(result.loss_history) == 4
+        out = model.generate(3, seed=1)
+        assert out.num_timesteps == 3

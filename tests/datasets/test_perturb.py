@@ -1,0 +1,137 @@
+"""Tests for the perturbation toolkit (and the metric responses to it)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.perturb import (
+    add_random_edges,
+    attribute_noise,
+    drop_edges,
+    freeze_first_snapshot,
+    rewire_edges,
+    shuffle_attribute_rows,
+    shuffle_snapshots,
+)
+from repro.metrics import (
+    attribute_jsd,
+    degree_distribution_mmd,
+    structure_difference_series,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRewireEdges:
+    def test_preserves_edge_count(self, tiny_graph, rng):
+        out = rewire_edges(tiny_graph, 0.5, rng)
+        assert out.num_temporal_edges == tiny_graph.num_temporal_edges
+
+    def test_zero_fraction_is_identity(self, tiny_graph, rng):
+        out = rewire_edges(tiny_graph, 0.0, rng)
+        assert out == tiny_graph
+
+    def test_full_fraction_changes_structure(self, tiny_graph, rng):
+        out = rewire_edges(tiny_graph, 1.0, rng)
+        assert out != tiny_graph
+
+    def test_does_not_mutate_input(self, tiny_graph, rng):
+        before = tiny_graph.adjacency_tensor().copy()
+        rewire_edges(tiny_graph, 1.0, rng)
+        assert np.array_equal(tiny_graph.adjacency_tensor(), before)
+
+    def test_rejects_bad_fraction(self, tiny_graph, rng):
+        with pytest.raises(ValueError, match="fraction"):
+            rewire_edges(tiny_graph, 1.5, rng)
+
+    def test_no_self_loops_introduced(self, tiny_graph, rng):
+        out = rewire_edges(tiny_graph, 1.0, rng)
+        for snap in out:
+            assert np.all(np.diag(snap.adjacency) == 0)
+
+
+class TestDropAdd:
+    def test_drop_half(self, tiny_graph, rng):
+        out = drop_edges(tiny_graph, 0.5, rng)
+        assert out.num_temporal_edges < tiny_graph.num_temporal_edges
+        assert out.num_temporal_edges > 0
+
+    def test_drop_all(self, tiny_graph, rng):
+        out = drop_edges(tiny_graph, 1.0, rng)
+        assert out.num_temporal_edges == 0
+
+    def test_add_edges_increases_count(self, tiny_graph, rng):
+        out = add_random_edges(tiny_graph, 5, rng)
+        expected = tiny_graph.num_temporal_edges + 5 * tiny_graph.num_timesteps
+        assert out.num_temporal_edges == expected
+
+    def test_add_zero_is_identity(self, tiny_graph, rng):
+        assert add_random_edges(tiny_graph, 0, rng) == tiny_graph
+
+    def test_add_negative_rejected(self, tiny_graph, rng):
+        with pytest.raises(ValueError, match=">= 0"):
+            add_random_edges(tiny_graph, -1, rng)
+
+
+class TestAttributeNoise:
+    def test_zero_sigma_is_identity(self, tiny_graph, rng):
+        assert attribute_noise(tiny_graph, 0.0, rng) == tiny_graph
+
+    def test_noise_changes_attributes_not_structure(self, tiny_graph, rng):
+        out = attribute_noise(tiny_graph, 1.0, rng)
+        assert np.array_equal(
+            out.adjacency_tensor(), tiny_graph.adjacency_tensor()
+        )
+        assert not np.array_equal(
+            out.attribute_tensor(), tiny_graph.attribute_tensor()
+        )
+
+    def test_negative_sigma_rejected(self, tiny_graph, rng):
+        with pytest.raises(ValueError, match="sigma"):
+            attribute_noise(tiny_graph, -0.1, rng)
+
+
+class TestShuffles:
+    def test_shuffle_rows_keeps_marginals(self, tiny_graph, rng):
+        out = shuffle_attribute_rows(tiny_graph, rng)
+        orig = np.sort(tiny_graph.attribute_tensor(), axis=1)
+        new = np.sort(out.attribute_tensor(), axis=1)
+        assert np.allclose(np.sort(orig.ravel()), np.sort(new.ravel()))
+        assert np.array_equal(
+            out.adjacency_tensor(), tiny_graph.adjacency_tensor()
+        )
+
+    def test_shuffle_snapshots_multiset_preserved(self, tiny_graph, rng):
+        out = shuffle_snapshots(tiny_graph, rng)
+        orig_counts = sorted(s.num_edges for s in tiny_graph)
+        new_counts = sorted(s.num_edges for s in out)
+        assert orig_counts == new_counts
+
+    def test_freeze_first_snapshot(self, tiny_graph):
+        out = freeze_first_snapshot(tiny_graph)
+        assert out.num_timesteps == tiny_graph.num_timesteps
+        for snap in out:
+            assert snap == tiny_graph[0]
+
+
+class TestMetricResponses:
+    """Corruption must move the paper's metrics in the right direction."""
+
+    def test_degree_mmd_increases_with_rewiring(self, tiny_graph, rng):
+        light = rewire_edges(tiny_graph, 0.1, np.random.default_rng(1))
+        heavy = rewire_edges(tiny_graph, 0.9, np.random.default_rng(1))
+        mmd_light = degree_distribution_mmd(tiny_graph, light, "in")
+        mmd_heavy = degree_distribution_mmd(tiny_graph, heavy, "in")
+        assert mmd_heavy >= mmd_light
+
+    def test_attribute_jsd_increases_with_noise(self, tiny_graph):
+        light = attribute_noise(tiny_graph, 0.05, np.random.default_rng(1))
+        heavy = attribute_noise(tiny_graph, 5.0, np.random.default_rng(1))
+        assert attribute_jsd(tiny_graph, heavy) > attribute_jsd(tiny_graph, light)
+
+    def test_frozen_sequence_has_zero_difference_series(self, tiny_graph):
+        frozen = freeze_first_snapshot(tiny_graph)
+        series = structure_difference_series(frozen, "degree")
+        assert np.allclose(series, 0.0)

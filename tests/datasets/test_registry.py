@@ -1,0 +1,84 @@
+"""Tests for the dataset registry and profile scaling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_PROFILES,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets_present(self):
+        assert set(list_datasets()) == {
+            "email", "bitcoin", "wiki", "guarantee", "brain", "gdelt"
+        }
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("facebook")
+
+    def test_case_insensitive(self):
+        g = load_dataset("EMAIL", scale=0.02, seed=0)
+        assert g.num_nodes >= 2
+
+    def test_profiles_match_paper_table1_stats(self):
+        p = DATASET_PROFILES["email"]
+        assert (p.paper_nodes, p.paper_temporal_edges) == (1891, 39264)
+        assert (p.num_attributes, p.num_timesteps) == (2, 14)
+        p = DATASET_PROFILES["gdelt"]
+        assert (p.paper_nodes, p.paper_temporal_edges) == (5037, 566735)
+        assert (p.num_attributes, p.num_timesteps) == (10, 18)
+        p = DATASET_PROFILES["guarantee"]
+        assert (p.paper_nodes, p.paper_temporal_edges) == (5530, 6169)
+
+    def test_scaling_reduces_size(self):
+        small = load_dataset("wiki", scale=0.01, seed=0)
+        large = load_dataset("wiki", scale=0.03, seed=0)
+        assert small.num_nodes < large.num_nodes
+
+    def test_min_nodes_floor(self):
+        g = load_dataset("email", scale=0.001, seed=0, min_nodes=25)
+        assert g.num_nodes == 25
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("email", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("email", scale=2.0)
+
+    def test_timestep_override(self):
+        g = load_dataset("bitcoin", scale=0.01, seed=0, num_timesteps=6)
+        assert g.num_timesteps == 6
+
+    def test_default_timesteps_from_profile(self):
+        g = load_dataset("email", scale=0.02, seed=0)
+        assert g.num_timesteps == 14
+
+    def test_attribute_dims_per_profile(self):
+        assert load_dataset("brain", scale=0.01, seed=0).num_attributes == 20
+        assert load_dataset("wiki", scale=0.01, seed=0).num_attributes == 1
+
+    def test_deterministic(self):
+        assert load_dataset("email", scale=0.02, seed=3) == load_dataset(
+            "email", scale=0.02, seed=3
+        )
+
+    def test_guarantee_is_sparse(self):
+        g = load_dataset("guarantee", scale=0.02, seed=0)
+        w = load_dataset("wiki", scale=0.02, seed=0)
+        g_density = g.num_temporal_edges / (g.num_nodes**2 * g.num_timesteps)
+        w_density = w.num_temporal_edges / (w.num_nodes**2 * w.num_timesteps)
+        assert g_density < w_density
+
+    def test_guarantee_no_reciprocity(self):
+        g = load_dataset("guarantee", scale=0.02, seed=0)
+        recip = 0
+        total = 0
+        for snap in g:
+            a = snap.adjacency
+            recip += int((a * a.T).sum())
+            total += snap.num_edges
+        assert recip / max(total, 1) < 0.2

@@ -1,0 +1,124 @@
+"""Tests for the co-evolution simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CoEvolutionConfig, generate_co_evolving_graph
+
+
+def make(cfg_kwargs=None, seed=0):
+    kwargs = dict(
+        num_nodes=30, num_timesteps=5, num_attributes=2,
+        edges_per_step=60, num_communities=3,
+    )
+    kwargs.update(cfg_kwargs or {})
+    return generate_co_evolving_graph(CoEvolutionConfig(**kwargs), seed=seed)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_timesteps": 0},
+            {"persistence": 1.5},
+            {"community_bias": -0.1},
+            {"edges_per_step": -5},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        base = dict(num_nodes=10, num_timesteps=3, edges_per_step=5)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            CoEvolutionConfig(**base).validate()
+
+
+class TestGeneration:
+    def test_shape_matches_config(self):
+        g = make()
+        assert g.num_nodes == 30
+        assert g.num_timesteps == 5
+        assert g.num_attributes == 2
+
+    def test_deterministic_under_seed(self):
+        assert make(seed=7) == make(seed=7)
+
+    def test_different_seeds_differ(self):
+        assert make(seed=1) != make(seed=2)
+
+    def test_edge_counts_near_target(self):
+        g = make()
+        for snap in g:
+            assert 0.5 * 60 <= snap.num_edges <= 1.5 * 60
+
+    def test_no_self_loops(self):
+        g = make()
+        for snap in g:
+            assert np.all(np.diag(snap.adjacency) == 0)
+
+    def test_attributes_finite(self):
+        g = make()
+        assert np.all(np.isfinite(g.attribute_tensor()))
+
+    def test_zero_attributes(self):
+        g = make({"num_attributes": 0})
+        assert g.num_attributes == 0
+
+    def test_persistence_keeps_edges(self):
+        high = make({"persistence": 0.95}, seed=3)
+        low = make({"persistence": 0.05}, seed=3)
+
+        def overlap(g):
+            vals = []
+            for t in range(1, g.num_timesteps):
+                a, b = g[t - 1].adjacency, g[t].adjacency
+                inter = (a * b).sum()
+                vals.append(inter / max(a.sum(), 1))
+            return np.mean(vals)
+
+        assert overlap(high) > overlap(low)
+
+    def test_heavy_tail_degrees(self):
+        g = make({"preferential": 0.9}, seed=11)
+        deg = g[-1].in_degrees()
+        # heavy-tailed: max degree well above the mean
+        assert deg.max() > 3 * deg.mean()
+
+    def test_homophily_zero_still_works(self):
+        g = make({"homophily": 0.0})
+        assert g.num_temporal_edges > 0
+
+    def test_attribute_trend_shifts_mean(self):
+        g = make({"attribute_trend": 0.5, "attribute_center_spread": 1.0}, seed=2)
+        first = g[0].attributes.mean(axis=0)
+        last = g[-1].attributes.mean(axis=0)
+        assert np.linalg.norm(last - first) > 0.3
+
+    def test_skew_changes_distribution(self):
+        plain = make({"attribute_skew": 0.0}, seed=4)
+        skewed = make({"attribute_skew": 1.0}, seed=4)
+        from scipy import stats
+
+        sk_p = abs(stats.skew(plain.attribute_tensor().ravel()))
+        sk_s = abs(stats.skew(skewed.attribute_tensor().ravel()))
+        assert sk_s > sk_p
+
+    def test_attribute_coupling_pulls_neighbors(self):
+        coupled = make({"attribute_coupling": 0.8, "attribute_noise": 0.0,
+                        "attribute_trend": 0.0}, seed=5)
+        uncoupled = make({"attribute_coupling": 0.0, "attribute_noise": 0.0,
+                          "attribute_trend": 0.0}, seed=5)
+
+        def neighbor_gap(g):
+            snap = g[-1]
+            sym = snap.undirected_adjacency()
+            rows, cols = np.nonzero(sym)
+            if rows.size == 0:
+                return 0.0
+            return float(
+                np.linalg.norm(
+                    snap.attributes[rows] - snap.attributes[cols], axis=1
+                ).mean()
+            )
+
+        assert neighbor_gap(coupled) < neighbor_gap(uncoupled)

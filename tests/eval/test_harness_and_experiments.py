@@ -1,0 +1,164 @@
+"""Harness and experiment-registry tests (fast, tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GenCAT
+from repro.eval import default_generators, make_vrdag, timed_fit_generate
+from repro.eval import experiments as E
+
+
+class TestHarness:
+    def test_default_generators_cover_table1(self):
+        registry = default_generators()
+        assert set(registry) == {
+            "GRAN", "GenCAT", "TagGen", "Dymond", "TGGAN", "TIGGER", "VRDAG"
+        }
+
+    def test_timed_fit_generate(self, tiny_graph):
+        run = timed_fit_generate("GenCAT", GenCAT(seed=0), tiny_graph)
+        assert run.fit_seconds > 0
+        assert run.generate_seconds > 0
+        assert run.generated.num_timesteps == tiny_graph.num_timesteps
+
+    def test_timed_with_horizon_override(self, tiny_graph):
+        run = timed_fit_generate("GenCAT", GenCAT(seed=0), tiny_graph, num_timesteps=2)
+        assert run.generated.num_timesteps == 2
+
+    def test_make_vrdag_generator(self, tiny_graph):
+        gen = make_vrdag(epochs=2, hidden_dim=8, latent_dim=4, encode_dim=8)
+        gen.fit(tiny_graph)
+        assert gen.train_result is not None
+        out = gen.generate(2)
+        assert out.num_timesteps == 2
+
+    def test_white_noise_ablation_switch(self, tiny_graph):
+        gen = make_vrdag(
+            epochs=2, hidden_dim=8, latent_dim=4, encode_dim=8,
+            correlated_noise=False,
+        )
+        gen.fit(tiny_graph)
+        assert gen.model._attr_noise_rho == 0.0
+
+    def test_correlated_noise_default_on(self, tiny_graph):
+        gen = make_vrdag(epochs=2, hidden_dim=8, latent_dim=4, encode_dim=8)
+        gen.fit(tiny_graph)
+        assert gen.model._attr_noise_rho >= 0.0  # fitted from data
+
+    def test_kl_warmup_switch(self, tiny_graph):
+        gen = make_vrdag(
+            epochs=3, hidden_dim=8, latent_dim=4, encode_dim=8,
+            kl_warmup_epochs=2,
+        )
+        gen.fit(tiny_graph)
+        # warmup must restore the base weight after training
+        assert gen.model.config.kl_weight == 1.0
+        assert gen.generate(2).num_timesteps == 2
+
+
+@pytest.mark.slow
+class TestExperiments:
+    """Smoke-level runs of every experiment entry point."""
+
+    SCALE = 0.012
+    EPOCHS = 3
+
+    def test_table1(self):
+        rows = E.run_table1(
+            "email", methods=["GenCAT", "VRDAG"], scale=self.SCALE,
+            epochs=self.EPOCHS,
+        )
+        assert set(rows) == {"GenCAT", "VRDAG"}
+        for metrics in rows.values():
+            assert len(metrics) == 8
+
+    def test_table1_dymond_skipped_on_large(self):
+        rows = E.run_table1(
+            "wiki", methods=["Dymond"], scale=0.08, epochs=1
+        )
+        assert rows == {}  # capacity guard skips, like the paper
+
+    def test_table2(self):
+        out = E.run_table2("email", scale=self.SCALE, epochs=self.EPOCHS)
+        assert set(out) == {"Normal", "GenCAT", "VRDAG"}
+        assert all(np.isfinite(v) for v in out.values())
+
+    def test_table2_rejects_single_attribute(self):
+        with pytest.raises(ValueError):
+            E.run_table2("wiki", scale=self.SCALE, epochs=1)
+
+    def test_fig3(self):
+        out = E.run_fig3("email", scale=self.SCALE, epochs=self.EPOCHS)
+        for method in ("VRDAG", "GenCAT", "Normal"):
+            assert set(out[method]) == {"jsd", "emd"}
+
+    def test_difference_figure_structure(self):
+        out = E.run_difference_figure(
+            "email", "degree", scale=self.SCALE, epochs=self.EPOCHS,
+            include_tigger=False,
+        )
+        assert set(out) == {"Original", "VRDAG"}
+        assert len(out["Original"]) == len(out["VRDAG"])
+
+    def test_difference_figure_attribute(self):
+        out = E.run_difference_figure(
+            "email", "mae", kind="attribute", scale=self.SCALE,
+            epochs=self.EPOCHS,
+        )
+        assert set(out) == {"Original", "VRDAG"}
+
+    def test_fig9_times(self):
+        out = E.run_fig9_times(
+            "email", methods=["VRDAG", "TIGGER"], scale=self.SCALE,
+            epochs=self.EPOCHS,
+        )
+        for method in ("VRDAG", "TIGGER"):
+            assert out[method]["train"] > 0
+            assert out[method]["test"] > 0
+
+    def test_scalability_sweep(self):
+        out = E.run_scalability_sweep(
+            edge_counts=(50, 150), methods=["TIGGER", "VRDAG"],
+            scale=0.012, epochs=2,
+        )
+        assert set(out) == {"TIGGER", "VRDAG"}
+        assert set(out["VRDAG"]) == {50, 150}
+
+    def test_fig10_downstream(self):
+        out = E.run_fig10(
+            "email", scale=self.SCALE, vrdag_epochs=self.EPOCHS,
+            downstream_epochs=2, n_runs=1,
+        )
+        assert set(out) == {"NoAugmentation", "GenCAT", "VRDAG"}
+        for row in out.values():
+            assert 0.0 <= row["f1"] <= 1.0
+            assert np.isfinite(row["rmse"])
+
+    def test_parameter_analysis(self):
+        out = E.run_parameter_analysis(
+            "email", scale=self.SCALE, epochs=self.EPOCHS
+        )
+        assert "K=1" in out and "latent_dim=4" in out
+        for row in out.values():
+            assert row["params"] > 0
+            assert row["train_s"] > 0
+
+    def test_privacy_audit(self):
+        out = E.run_privacy_audit("email", scale=self.SCALE, epochs=self.EPOCHS)
+        assert out["IdentityCopy"]["edge_overlap"] == 1.0
+        assert out["VRDAG"]["edge_overlap"] <= 1.0
+
+    def test_fig9_timestep_sweep(self):
+        out = E.run_fig9_timestep_sweep(
+            "bitcoin", timesteps=(2, 4), methods=["VRDAG"],
+            scale=self.SCALE, epochs=2,
+        )
+        assert set(out["VRDAG"]) == {2, 4}
+
+    def test_ablation(self):
+        out = E.run_ablation("email", scale=self.SCALE, epochs=self.EPOCHS)
+        assert set(out) == {
+            "full", "uni_flow", "K1", "mse_attr", "white_noise", "kl_warmup",
+        }
+        for metrics in out.values():
+            assert "attr_jsd" in metrics

@@ -1,0 +1,43 @@
+"""Text plotting tests."""
+
+import numpy as np
+
+from repro.eval.plotting import series_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_ticks(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_rendered_as_dot(self):
+        assert sparkline([1.0, np.nan, 2.0])[1] == "·"
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "··"
+
+
+class TestSeriesChart:
+    def test_contains_all_series(self):
+        chart = series_chart({"a": [1, 2], "b": [2, 1]})
+        assert "a" in chart and "b" in chart
+        assert chart.count("\n") == 1
+
+    def test_shared_scale(self):
+        # series 'low' stays at the bottom tick because 'high' sets the scale
+        chart = series_chart({"low": [0, 0], "high": [100, 100]})
+        low_line = chart.splitlines()[0]
+        assert "▁▁" in low_line
+
+    def test_ranges_reported(self):
+        chart = series_chart({"x": [1.0, 3.0]})
+        assert "[1.000, 3.000]" in chart

@@ -1,0 +1,172 @@
+"""Tests for report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    ExperimentReport,
+    csv_lines,
+    format_cell,
+    markdown_table,
+    nested_dict_table,
+    series_table,
+    summarize_ranking,
+    win_counts,
+    write_markdown_report,
+)
+
+
+class TestFormatCell:
+    def test_int_verbatim(self):
+        assert format_cell(42) == "42"
+
+    def test_float_rounded(self):
+        assert format_cell(0.123456) == "0.1235"
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_cell(3.2e-7)
+
+    def test_huge_float_scientific(self):
+        assert "e" in format_cell(5.4e8)
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0.0000"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_cell("VRDAG") == "VRDAG"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_cell(True) == "True"
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        md = markdown_table(["a", "b"], [[1, 2.5], ["x", 0.1]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_rejects_empty_header(self):
+        with pytest.raises(ValueError, match="header"):
+            markdown_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            markdown_table(["a", "b"], [[1]])
+
+
+class TestCsvLines:
+    def test_round_trips_through_csv_reader(self):
+        import csv as _csv
+        import io
+
+        text = csv_lines(["m", "v"], [["VRDAG", 0.25], ["GenCAT", 1.0]])
+        rows = list(_csv.reader(io.StringIO(text)))
+        assert rows[0] == ["m", "v"]
+        assert rows[1][0] == "VRDAG"
+
+    def test_quotes_commas(self):
+        text = csv_lines(["name"], [["a,b"]])
+        assert '"a,b"' in text
+
+
+class TestNestedDictTable:
+    def test_column_union_preserves_order(self):
+        data = {"m1": {"a": 1.0, "b": 2.0}, "m2": {"b": 3.0, "c": 4.0}}
+        header, rows = nested_dict_table(data)
+        assert header == ["method", "a", "b", "c"]
+        assert rows[1][1] != rows[1][1] or np.isnan(rows[1][1])  # m2 missing a
+
+    def test_pinned_columns(self):
+        data = {"m": {"a": 1.0, "b": 2.0}}
+        header, rows = nested_dict_table(data, columns=["b"])
+        assert header == ["method", "b"]
+        assert rows[0] == ["m", 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            nested_dict_table({})
+
+
+class TestSeriesTable:
+    def test_pads_short_series(self):
+        header, rows = series_table(
+            {"Original": np.array([1.0, 2.0, 3.0]), "VRDAG": np.array([1.5])}
+        )
+        assert header == ["timestep", "Original", "VRDAG"]
+        assert len(rows) == 3
+        assert np.isnan(rows[2][2])
+
+    def test_scalar_series_promoted(self):
+        header, rows = series_table({"x": np.float64(2.0)})
+        assert rows == [[0, 2.0]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            series_table({})
+
+
+class TestRankingAndWins:
+    data = {
+        "VRDAG": {"in_deg": 0.1, "out_deg": 0.3},
+        "TIGGER": {"in_deg": 0.2, "out_deg": 0.2},
+        "GRAN": {"in_deg": 0.9, "out_deg": 0.9},
+    }
+
+    def test_ranking_lower_is_better(self):
+        ranking = summarize_ranking(self.data)
+        assert ranking["in_deg"] == ["VRDAG", "TIGGER", "GRAN"]
+        assert ranking["out_deg"][0] == "TIGGER"
+
+    def test_ranking_higher_is_better(self):
+        ranking = summarize_ranking(self.data, lower_is_better=False)
+        assert ranking["in_deg"][0] == "GRAN"
+
+    def test_win_counts(self):
+        wins = win_counts(self.data)
+        assert wins == {"VRDAG": 1, "TIGGER": 1, "GRAN": 0}
+
+    def test_nan_excluded_from_ranking(self):
+        data = {
+            "a": {"m": float("nan")},
+            "b": {"m": 1.0},
+        }
+        assert summarize_ranking(data)["m"] == ["b"]
+
+
+class TestExperimentReport:
+    def test_render_sections(self):
+        report = ExperimentReport(
+            experiment_id="Table I",
+            title="structure quality",
+            paper_claim="VRDAG wins most metrics",
+            measured="| a |\n|---|\n| 1 |",
+            verdict="reproduced",
+            notes="scale reduced",
+        )
+        text = report.render()
+        assert text.startswith("## Table I — structure quality")
+        assert "**Paper:** VRDAG wins most metrics" in text
+        assert "**Verdict:** reproduced" in text
+        assert "*Notes:* scale reduced" in text
+
+    def test_render_without_notes(self):
+        report = ExperimentReport("F1", "t", "c", "m", "v")
+        assert "Notes" not in report.render()
+
+    def test_write_markdown_report(self, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        write_markdown_report(
+            path,
+            "Experiments",
+            "preamble text",
+            [ExperimentReport("T1", "a", "b", "c", "d")],
+        )
+        text = path.read_text()
+        assert text.startswith("# Experiments")
+        assert "preamble text" in text
+        assert "## T1 — a" in text

@@ -1,0 +1,68 @@
+"""Reciprocity and assortativity tests (networkx cross-checks)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import GraphSnapshot
+from repro.graph.properties import degree_assortativity, reciprocity
+
+
+class TestReciprocity:
+    def test_empty(self):
+        assert reciprocity(GraphSnapshot(np.zeros((4, 4)))) == 0.0
+
+    def test_fully_mutual(self):
+        adj = np.ones((4, 4)) - np.eye(4)
+        assert reciprocity(GraphSnapshot(adj)) == pytest.approx(1.0)
+
+    def test_one_way_zero(self):
+        snap = GraphSnapshot.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert reciprocity(snap) == 0.0
+
+    def test_matches_networkx(self, rng):
+        adj = (rng.random((20, 20)) < 0.2).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        snap = GraphSnapshot(adj)
+        g = nx.from_numpy_array(adj, create_using=nx.DiGraph)
+        assert reciprocity(snap) == pytest.approx(nx.reciprocity(g))
+
+
+class TestAssortativity:
+    def test_degenerate_zero(self):
+        assert degree_assortativity(GraphSnapshot(np.zeros((4, 4)))) == 0.0
+
+    def test_regular_graph_zero_variance(self):
+        # a directed cycle: every node has degree 2 -> zero variance
+        snap = GraphSnapshot.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert degree_assortativity(snap) == 0.0
+
+    def test_star_disassortative(self):
+        snap = GraphSnapshot.from_edges(8, [(0, i) for i in range(1, 8)])
+        assert degree_assortativity(snap) < 0.0
+
+    def test_matches_networkx(self, rng):
+        adj = (rng.random((25, 25)) < 0.15).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        sym = np.maximum(adj, adj.T)
+        snap = GraphSnapshot(adj)
+        g = nx.from_numpy_array(sym)
+        expected = nx.degree_pearson_correlation_coefficient(g)
+        assert degree_assortativity(snap) == pytest.approx(expected, abs=1e-9)
+
+
+class TestEarlyStopping:
+    def test_patience_stops_training(self, tiny_graph):
+        from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+
+        cfg = VRDAGConfig(
+            num_nodes=tiny_graph.num_nodes,
+            num_attributes=tiny_graph.num_attributes,
+            hidden_dim=8, latent_dim=4, encode_dim=8, seed=0,
+        )
+        model = VRDAG(cfg)
+        # absurd min_delta: no epoch ever "improves" -> stops at patience+1
+        result = VRDAGTrainer(
+            model, TrainConfig(epochs=100, patience=2, min_delta=1e9)
+        ).fit(tiny_graph)
+        assert result.epochs_run <= 4

@@ -1,0 +1,168 @@
+"""Tests for CSV interop (edge streams, event streams, attributes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DynamicAttributedGraph, TemporalEdgeList
+from repro.graph.formats import (
+    export_graph_csv,
+    import_graph_csv,
+    read_attribute_csv,
+    read_edge_csv,
+    read_event_csv,
+    write_attribute_csv,
+    write_edge_csv,
+    write_event_csv,
+)
+from repro.graph.streams import InteractionStream
+
+
+def sample_graph(seed=0, n=8, t=3, f=2):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((t, n, n)) < 0.25).astype(float)
+    for k in range(t):
+        np.fill_diagonal(adj[k], 0.0)
+    attrs = rng.normal(size=(t, n, f)).round(6)
+    return DynamicAttributedGraph.from_tensors(adj, attrs)
+
+
+class TestEdgeCsv:
+    def test_round_trip(self, tmp_path):
+        tel = TemporalEdgeList(5, 3, [(0, 1, 0), (1, 2, 1), (4, 3, 2)])
+        path = tmp_path / "edges.csv"
+        write_edge_csv(tel, path)
+        back = read_edge_csv(path, num_nodes=5, num_timesteps=3)
+        assert sorted(back.edges) == sorted(tel.edges)
+
+    def test_universe_inferred(self, tmp_path):
+        tel = TemporalEdgeList(5, 3, [(0, 4, 2)])
+        path = tmp_path / "edges.csv"
+        write_edge_csv(tel, path)
+        back = read_edge_csv(path)
+        assert back.num_nodes == 5
+        assert back.num_timesteps == 3
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("0,1,0\n")
+        with pytest.raises(ValueError, match="expected header"):
+            read_edge_csv(path)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("src,dst,t\n0,1\n")
+        with pytest.raises(ValueError, match="edges.csv:2"):
+            read_edge_csv(path)
+
+    def test_non_integer_rejected_with_line(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("src,dst,t\n0,1,0\na,b,c\n")
+        with pytest.raises(ValueError, match="edges.csv:3"):
+            read_edge_csv(path)
+
+    def test_negative_rejected(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("src,dst,t\n0,-1,0\n")
+        with pytest.raises(ValueError, match="negative"):
+            read_edge_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_edge_csv(path)
+
+    def test_no_edges_no_universe_rejected(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("src,dst,t\n")
+        with pytest.raises(ValueError, match="universe"):
+            read_edge_csv(path)
+
+
+class TestEventCsv:
+    def test_round_trip_preserves_float_times(self, tmp_path):
+        stream = InteractionStream(
+            4, [(0, 1, 0.123456789), (2, 3, 1.5), (1, 0, 2.25)]
+        )
+        path = tmp_path / "events.csv"
+        write_event_csv(stream, path)
+        back = read_event_csv(path, num_nodes=4)
+        assert back == stream
+
+    def test_malformed_time_rejected(self, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text("src,dst,time\n0,1,notatime\n")
+        with pytest.raises(ValueError, match="events.csv:2"):
+            read_event_csv(path)
+
+
+class TestAttributeCsv:
+    def test_round_trip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "attrs.csv"
+        write_attribute_csv(g, path)
+        back = read_attribute_csv(path)
+        np.testing.assert_allclose(back, g.attribute_tensor())
+
+    def test_duplicate_cell_rejected(self, tmp_path):
+        path = tmp_path / "attrs.csv"
+        path.write_text("t,node,x0\n0,0,1.0\n0,0,2.0\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_attribute_csv(path)
+
+    def test_sparse_table_rejected(self, tmp_path):
+        path = tmp_path / "attrs.csv"
+        path.write_text("t,node,x0\n0,0,1.0\n1,1,2.0\n")
+        with pytest.raises(ValueError, match="sparse"):
+            read_attribute_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "attrs.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ValueError, match="t,node"):
+            read_attribute_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "attrs.csv"
+        path.write_text("t,node,x0\n")
+        with pytest.raises(ValueError, match="no attribute rows"):
+            read_attribute_csv(path)
+
+
+class TestWholeGraph:
+    def test_export_import_round_trip(self, tmp_path):
+        g = sample_graph()
+        edge_path = tmp_path / "e.csv"
+        attr_path = tmp_path / "a.csv"
+        export_graph_csv(g, edge_path, attr_path)
+        back = import_graph_csv(edge_path, attr_path)
+        assert back == g
+
+    def test_import_structure_only(self, tmp_path):
+        g = sample_graph(f=2)
+        edge_path = tmp_path / "e.csv"
+        write_edge_csv(TemporalEdgeList.from_dynamic_graph(g), edge_path)
+        back = import_graph_csv(
+            edge_path, num_nodes=g.num_nodes, num_timesteps=g.num_timesteps
+        )
+        assert np.array_equal(back.adjacency_tensor(), g.adjacency_tensor())
+        assert back.num_attributes == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(2, 10), t=st.integers(1, 5))
+def test_property_csv_round_trip(tmp_path_factory, seed, n, t):
+    """export -> import is the identity for any dense attributed graph."""
+    tmp = tmp_path_factory.mktemp("fmt")
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((t, n, n)) < 0.3).astype(float)
+    for k in range(t):
+        np.fill_diagonal(adj[k], 0.0)
+    attrs = rng.normal(size=(t, n, 2))
+    g = DynamicAttributedGraph.from_tensors(adj, attrs)
+    export_graph_csv(g, tmp / "e.csv", tmp / "a.csv")
+    back = import_graph_csv(tmp / "e.csv", tmp / "a.csv")
+    assert np.array_equal(back.adjacency_tensor(), g.adjacency_tensor())
+    np.testing.assert_allclose(back.attribute_tensor(), g.attribute_tensor())

@@ -1,0 +1,107 @@
+"""PageRank tests, validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.graph.properties import pagerank
+from repro.metrics import pagerank_divergence
+
+
+def snapshot(seed=0, n=10, density=0.25):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((n, n)) < density).astype(float)
+    np.fill_diagonal(adj, 0.0)
+    return GraphSnapshot(adj)
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        pr = pagerank(snapshot())
+        assert pr.sum() == pytest.approx(1.0)
+        assert np.all(pr > 0)
+
+    def test_empty_graph_uniform(self):
+        pr = pagerank(GraphSnapshot(np.zeros((5, 5))))
+        np.testing.assert_allclose(pr, 0.2)
+
+    def test_star_center_ranks_highest(self):
+        n = 6
+        adj = np.zeros((n, n))
+        adj[1:, 0] = 1.0  # everyone points at node 0
+        pr = pagerank(GraphSnapshot(adj))
+        assert pr.argmax() == 0
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(ValueError, match="damping"):
+            pagerank(snapshot(), damping=1.0)
+        with pytest.raises(ValueError, match="damping"):
+            pagerank(snapshot(), damping=0.0)
+
+    def test_dangling_mass_redistributed(self):
+        # 0 -> 1, node 1 dangles; ranks must still sum to 1
+        adj = np.zeros((3, 3))
+        adj[0, 1] = 1.0
+        pr = pagerank(GraphSnapshot(adj))
+        assert pr.sum() == pytest.approx(1.0)
+        assert pr[1] > pr[2]  # 1 receives 0's vote
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        snap = snapshot(seed=seed, n=12)
+        ours = pagerank(snap, damping=0.85)
+        nxg = nx.from_numpy_array(snap.adjacency, create_using=nx.DiGraph)
+        theirs = nx.pagerank(nxg, alpha=0.85, tol=1e-10, max_iter=1000)
+        np.testing.assert_allclose(
+            ours, [theirs[v] for v in range(snap.num_nodes)], atol=1e-6
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 3000), n=st.integers(2, 12))
+def test_property_pagerank_matches_networkx(seed, n):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((n, n)) < 0.3).astype(float)
+    np.fill_diagonal(adj, 0.0)
+    snap = GraphSnapshot(adj)
+    ours = pagerank(snap)
+    theirs = nx.pagerank(
+        nx.from_numpy_array(adj, create_using=nx.DiGraph),
+        tol=1e-10,
+        max_iter=1000,
+    )
+    np.testing.assert_allclose(
+        ours, [theirs[v] for v in range(n)], atol=1e-6
+    )
+
+
+class TestPagerankDivergence:
+    def graphs(self):
+        rng = np.random.default_rng(0)
+        adj = (rng.random((3, 12, 12)) < 0.25).astype(float)
+        for t in range(3):
+            np.fill_diagonal(adj[t], 0.0)
+        return DynamicAttributedGraph.from_tensors(adj)
+
+    def test_identity_is_zero(self):
+        g = self.graphs()
+        assert pagerank_divergence(g, g) == pytest.approx(0.0)
+
+    def test_different_topology_positive(self):
+        g = self.graphs()
+        n = g.num_nodes
+        star = np.zeros((3, n, n))
+        star[:, 1:, 0] = 1.0
+        h = DynamicAttributedGraph.from_tensors(star)
+        assert pagerank_divergence(g, h) > 0.1
+
+    def test_bounded_by_one(self):
+        g = self.graphs()
+        n = g.num_nodes
+        star = np.zeros((3, n, n))
+        star[:, 1:, 0] = 1.0
+        h = DynamicAttributedGraph.from_tensors(star)
+        assert pagerank_divergence(g, h) <= 1.0

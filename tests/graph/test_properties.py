@@ -1,0 +1,134 @@
+"""Structural analytics tests, including networkx cross-checks."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import GraphSnapshot
+from repro.graph import properties as props
+
+
+def snapshot_from_nx(g: nx.DiGraph, n: int) -> GraphSnapshot:
+    adj = np.zeros((n, n))
+    for u, v in g.edges():
+        adj[u, v] = 1.0
+    return GraphSnapshot(adj)
+
+
+@pytest.fixture
+def random_digraph(rng):
+    n = 20
+    g = nx.gnp_random_graph(n, 0.15, seed=3, directed=True)
+    return snapshot_from_nx(g, n), g
+
+
+class TestDegreeHistogram:
+    def test_normalized(self):
+        h = props.degree_histogram(np.array([0, 1, 1, 3]))
+        assert h.sum() == pytest.approx(1.0)
+        assert len(h) == 4
+
+    def test_fixed_max(self):
+        h = props.degree_histogram(np.array([1, 1]), max_degree=5)
+        assert len(h) == 6
+
+    def test_empty(self):
+        h = props.degree_histogram(np.array([], dtype=int))
+        assert h.sum() == 0
+
+
+class TestClustering:
+    def test_matches_networkx(self, random_digraph):
+        snap, g = random_digraph
+        ours = props.clustering_coefficients(snap)
+        theirs = nx.clustering(g.to_undirected())
+        for i in range(snap.num_nodes):
+            assert ours[i] == pytest.approx(theirs[i], abs=1e-9)
+
+    def test_triangle_graph(self):
+        snap = GraphSnapshot.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        np.testing.assert_allclose(props.clustering_coefficients(snap), 1.0)
+
+    def test_no_edges(self):
+        snap = GraphSnapshot(np.zeros((4, 4)))
+        np.testing.assert_allclose(props.clustering_coefficients(snap), 0.0)
+
+
+class TestWedgeTriangle:
+    def test_matches_networkx_triangles(self, random_digraph):
+        snap, g = random_digraph
+        nx_tri = sum(nx.triangles(g.to_undirected()).values()) // 3
+        assert props.triangle_count(snap) == nx_tri
+
+    def test_star_wedges(self):
+        # star with 4 leaves: center degree 4 -> C(4,2)=6 wedges
+        snap = GraphSnapshot.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert props.wedge_count(snap) == 6
+
+    def test_triangle_wedges(self):
+        snap = GraphSnapshot.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert props.wedge_count(snap) == 3
+
+
+class TestComponents:
+    def test_matches_networkx(self, random_digraph):
+        snap, g = random_digraph
+        nx_comps = list(nx.connected_components(g.to_undirected()))
+        ours = props.connected_components(snap)
+        assert len(ours) == len(nx_comps)
+        assert props.largest_component_size(snap) == max(
+            len(c) for c in nx_comps
+        )
+
+    def test_component_count_excludes_singletons(self):
+        snap = GraphSnapshot.from_edges(5, [(0, 1), (2, 3)])
+        assert props.component_count(snap) == 2
+        assert props.component_count(snap, include_singletons=True) == 3
+
+    def test_fully_disconnected(self):
+        snap = GraphSnapshot(np.zeros((4, 4)))
+        assert props.component_count(snap) == 0
+        assert props.largest_component_size(snap) == 1
+
+
+class TestCoreness:
+    def test_matches_networkx(self, random_digraph):
+        snap, g = random_digraph
+        und = g.to_undirected()
+        und.remove_edges_from(nx.selfloop_edges(und))
+        theirs = nx.core_number(und)
+        ours = props.coreness(snap)
+        for i in range(snap.num_nodes):
+            assert ours[i] == theirs.get(i, 0)
+
+    def test_clique_coreness(self):
+        n = 5
+        adj = np.ones((n, n)) - np.eye(n)
+        snap = GraphSnapshot(adj)
+        np.testing.assert_array_equal(props.coreness(snap), n - 1)
+
+
+class TestPowerLawExponent:
+    def test_recovers_known_alpha(self):
+        from scipy import stats
+
+        alpha = 2.5
+        samples = stats.zipf.rvs(alpha, size=20000, random_state=1)
+        # the (d_min - 1/2) continuity-corrected MLE is accurate for
+        # d_min >= 2 on discrete power laws (Clauset et al.)
+        est = props.power_law_exponent(samples, d_min=2)
+        assert abs(est - alpha) < 0.15
+
+    def test_empty_degrees_nan(self):
+        assert np.isnan(props.power_law_exponent(np.array([0, 0])))
+
+    def test_greater_than_one(self, rng):
+        degs = rng.integers(1, 50, size=100)
+        assert props.power_law_exponent(degs) > 1.0
+
+
+class TestStructureSummary:
+    def test_keys(self, tiny_snapshot):
+        summary = props.structure_summary(tiny_snapshot)
+        assert set(summary) == {"in_ple", "out_ple", "wedge_count", "nc", "lcc"}
+        assert all(np.isfinite(v) or np.isnan(v) for v in summary.values())

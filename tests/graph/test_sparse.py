@@ -1,0 +1,76 @@
+"""Sparse graph representation tests (cross-checked against dense)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphSnapshot
+from repro.graph import properties as props
+from repro.graph.sparse import SparseDirectedGraph
+
+
+@pytest.fixture
+def snapshot(rng):
+    adj = (rng.random((25, 25)) < 0.15).astype(float)
+    np.fill_diagonal(adj, 0.0)
+    return GraphSnapshot(adj)
+
+
+class TestConstruction:
+    def test_roundtrip_dense(self, snapshot):
+        sparse = SparseDirectedGraph.from_snapshot(snapshot)
+        np.testing.assert_array_equal(sparse.to_dense(), snapshot.adjacency)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SparseDirectedGraph(3, np.array([[0, 5]]))
+
+    def test_drops_self_loops_and_dups(self):
+        g = SparseDirectedGraph(4, np.array([[0, 0], [1, 2], [1, 2]]))
+        assert g.num_edges == 1
+
+    def test_empty(self):
+        g = SparseDirectedGraph(5, np.zeros((0, 2)))
+        assert g.num_edges == 0
+        assert g.out_degrees().sum() == 0
+
+    def test_out_neighbors(self):
+        g = SparseDirectedGraph(4, np.array([[0, 1], [0, 3], [2, 1]]))
+        np.testing.assert_array_equal(sorted(g.out_neighbors(0)), [1, 3])
+        assert len(g.out_neighbors(1)) == 0
+
+
+class TestAgainstDense:
+    def test_degrees(self, snapshot):
+        sparse = SparseDirectedGraph.from_snapshot(snapshot)
+        np.testing.assert_allclose(sparse.in_degrees(), snapshot.in_degrees())
+        np.testing.assert_allclose(sparse.out_degrees(), snapshot.out_degrees())
+
+    def test_clustering(self, snapshot):
+        sparse = SparseDirectedGraph.from_snapshot(snapshot)
+        np.testing.assert_allclose(
+            sparse.clustering_coefficients(),
+            props.clustering_coefficients(snapshot),
+            atol=1e-12,
+        )
+
+    def test_components(self, snapshot):
+        sparse = SparseDirectedGraph.from_snapshot(snapshot)
+        sizes = sparse.connected_component_sizes()
+        dense_comps = props.connected_components(snapshot)
+        assert sorted(sizes, reverse=True) == sorted(
+            (len(c) for c in dense_comps), reverse=True
+        )
+        assert sizes[0] == props.largest_component_size(snapshot)
+
+    def test_wedges(self, snapshot):
+        sparse = SparseDirectedGraph.from_snapshot(snapshot)
+        assert sparse.wedge_count() == props.wedge_count(snapshot)
+
+
+class TestScale:
+    def test_handles_larger_graph_quickly(self, rng):
+        n, e = 3000, 12000
+        edges = rng.integers(0, n, size=(e, 2))
+        g = SparseDirectedGraph(n, edges)
+        assert g.in_degrees().sum() == g.num_edges
+        assert len(g.connected_component_sizes()) >= 1

@@ -1,0 +1,70 @@
+"""Tests for the temporal edge stream view."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicAttributedGraph, GraphSnapshot, TemporalEdgeList
+
+
+class TestTemporalEdgeList:
+    def test_add_and_len(self):
+        tel = TemporalEdgeList(5, 3)
+        tel.add(0, 1, 0)
+        tel.add(1, 2, 2)
+        assert len(tel) == 2
+
+    def test_self_loops_ignored(self):
+        tel = TemporalEdgeList(5, 3)
+        tel.add(2, 2, 0)
+        assert len(tel) == 0
+
+    def test_out_of_range_node(self):
+        tel = TemporalEdgeList(3, 2)
+        with pytest.raises(ValueError):
+            tel.add(0, 5, 0)
+
+    def test_out_of_range_time(self):
+        tel = TemporalEdgeList(3, 2)
+        with pytest.raises(ValueError):
+            tel.add(0, 1, 7)
+
+    def test_edges_at(self):
+        tel = TemporalEdgeList(4, 2, [(0, 1, 0), (1, 2, 1), (2, 3, 1)])
+        assert tel.edges_at(0) == [(0, 1)]
+        assert sorted(tel.edges_at(1)) == [(1, 2), (2, 3)]
+
+    def test_neighbors_at(self):
+        tel = TemporalEdgeList(4, 2, [(0, 1, 0), (0, 2, 0), (1, 3, 1)])
+        nbrs = tel.neighbors_at(0)
+        assert sorted(nbrs[0]) == [1, 2]
+        assert 1 not in nbrs
+
+    def test_temporal_neighbors(self):
+        tel = TemporalEdgeList(4, 3, [(0, 1, 0), (0, 2, 2)])
+        tn = tel.temporal_neighbors()
+        assert sorted(tn[0]) == [(1, 0), (2, 2)]
+
+    def test_roundtrip_with_dynamic_graph(self, tiny_graph):
+        tel = TemporalEdgeList.from_dynamic_graph(tiny_graph)
+        assert len(tel) == tiny_graph.num_temporal_edges
+        rebuilt = tel.to_dynamic_graph(attributes=tiny_graph.attribute_tensor())
+        assert rebuilt == tiny_graph
+
+    def test_roundtrip_without_attributes(self, structure_only_graph):
+        tel = TemporalEdgeList.from_dynamic_graph(structure_only_graph)
+        rebuilt = tel.to_dynamic_graph()
+        np.testing.assert_array_equal(
+            rebuilt.adjacency_tensor(), structure_only_graph.adjacency_tensor()
+        )
+
+    def test_subsample_reduces(self, tiny_graph, rng):
+        tel = TemporalEdgeList.from_dynamic_graph(tiny_graph)
+        sub = tel.subsample(10, rng)
+        assert len(sub) == 10
+        # subsampled edges are a subset of the originals
+        assert set(sub.edges) <= set(tel.edges)
+
+    def test_subsample_noop_when_small(self, rng):
+        tel = TemporalEdgeList(4, 2, [(0, 1, 0)])
+        sub = tel.subsample(100, rng)
+        assert len(sub) == 1

@@ -1,0 +1,105 @@
+"""Attribute metric tests: JSD, EMD, Spearman MAE."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.metrics import attribute_emd, attribute_jsd, spearman_correlation_mae
+from repro.metrics.attributes import (
+    earth_movers_distance,
+    jensen_shannon_divergence,
+)
+
+
+def attr_graph(attr_fn, n=60, t=3, f=2, seed=0):
+    rng = np.random.default_rng(seed)
+    snaps = []
+    for step in range(t):
+        adj = (rng.random((n, n)) < 0.1).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        snaps.append(GraphSnapshot(adj, attr_fn(rng, n, f, step)))
+    return DynamicAttributedGraph(snaps)
+
+
+class TestJSD:
+    def test_identical_zero(self):
+        p = np.array([0.2, 0.5, 0.3])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded_by_ln2(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(np.log(2))
+
+    def test_symmetric(self, rng):
+        p = rng.random(10)
+        q = rng.random(10)
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_graph_level_self_low(self):
+        g = attr_graph(lambda r, n, f, t: r.normal(size=(n, f)))
+        other = attr_graph(lambda r, n, f, t: r.normal(size=(n, f)), seed=1)
+        shifted = attr_graph(lambda r, n, f, t: r.normal(size=(n, f)) + 4.0, seed=2)
+        assert attribute_jsd(g, other) < attribute_jsd(g, shifted)
+
+    def test_no_attributes_nan(self, structure_only_graph):
+        assert np.isnan(
+            attribute_jsd(structure_only_graph, structure_only_graph)
+        )
+
+
+class TestEMD:
+    def test_identical_zero(self, rng):
+        x = rng.normal(size=100)
+        assert earth_movers_distance(x, x) == pytest.approx(0.0)
+
+    def test_shift_equals_distance(self, rng):
+        x = rng.normal(size=2000)
+        assert earth_movers_distance(x, x + 2.0) == pytest.approx(2.0, abs=0.05)
+
+    def test_graph_level(self):
+        g = attr_graph(lambda r, n, f, t: r.normal(size=(n, f)))
+        shifted = attr_graph(lambda r, n, f, t: r.normal(size=(n, f)) + 3.0, seed=5)
+        assert attribute_emd(g, shifted) > 2.0
+
+
+class TestSpearmanMAE:
+    def test_requires_two_attrs(self):
+        g = attr_graph(lambda r, n, f, t: r.normal(size=(n, 1)), f=1)
+        with pytest.raises(ValueError):
+            spearman_correlation_mae(g, g)
+
+    def test_self_zero(self):
+        g = attr_graph(lambda r, n, f, t: r.normal(size=(n, f)))
+        assert spearman_correlation_mae(g, g) == pytest.approx(0.0)
+
+    def test_correlation_destruction_detected(self):
+        def correlated(r, n, f, t):
+            base = r.normal(size=(n, 1))
+            return np.concatenate([base, base + 0.05 * r.normal(size=(n, 1))], axis=1)
+
+        def independent(r, n, f, t):
+            return r.normal(size=(n, 2))
+
+        g_corr = attr_graph(correlated)
+        g_ind = attr_graph(independent, seed=9)
+        g_corr2 = attr_graph(correlated, seed=10)
+        assert spearman_correlation_mae(g_corr, g_ind) > spearman_correlation_mae(
+            g_corr, g_corr2
+        )
+
+    def test_constant_column_no_nan(self):
+        def constant(r, n, f, t):
+            x = r.normal(size=(n, 2))
+            x[:, 1] = 5.0
+            return x
+
+        g = attr_graph(constant)
+        h = attr_graph(lambda r, n, f, t: r.normal(size=(n, 2)), seed=2)
+        assert np.isfinite(spearman_correlation_mae(g, h))
+
+    def test_multidim(self):
+        g = attr_graph(lambda r, n, f, t: r.normal(size=(n, 4)), f=4)
+        assert spearman_correlation_mae(g, g) == pytest.approx(0.0)

@@ -1,0 +1,122 @@
+"""Tests for the privacy / leakage metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.perturb import rewire_edges, shuffle_attribute_rows
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.metrics.privacy import (
+    attribute_nn_distance,
+    degree_sequence_uniqueness,
+    edge_overlap,
+    expected_chance_overlap,
+    privacy_report,
+)
+
+
+def graph_pair(seed=0, n=14, t=4, f=2):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((t, n, n)) < 0.2).astype(float)
+    for k in range(t):
+        np.fill_diagonal(adj[k], 0.0)
+    attrs = rng.normal(size=(t, n, f))
+    return DynamicAttributedGraph.from_tensors(adj, attrs)
+
+
+class TestEdgeOverlap:
+    def test_identical_graphs_full_overlap(self):
+        g = graph_pair()
+        assert edge_overlap(g, g) == 1.0
+
+    def test_disjoint_graphs_zero_overlap(self):
+        g = graph_pair()
+        empty = DynamicAttributedGraph.from_tensors(
+            np.zeros((g.num_timesteps, g.num_nodes, g.num_nodes))
+        )
+        assert edge_overlap(g, empty) == 0.0
+
+    def test_rewiring_lowers_overlap(self):
+        g = graph_pair()
+        part = rewire_edges(g, 0.5, np.random.default_rng(1))
+        full = rewire_edges(g, 1.0, np.random.default_rng(1))
+        assert edge_overlap(g, full) <= edge_overlap(g, part) <= 1.0
+
+    def test_shorter_synthetic_truncates(self):
+        g = graph_pair()
+        short = DynamicAttributedGraph(g.snapshots[:2])
+        assert edge_overlap(g, short) == 1.0  # first 2 steps identical
+
+    def test_node_mismatch_rejected(self):
+        g = graph_pair()
+        other = graph_pair(n=10)
+        with pytest.raises(ValueError, match="node counts"):
+            edge_overlap(g, other)
+
+
+class TestChanceOverlap:
+    def test_chance_close_to_density(self):
+        g = graph_pair()
+        chance = expected_chance_overlap(g, g)
+        densities = [
+            s.num_edges / (g.num_nodes * (g.num_nodes - 1)) for s in g
+        ]
+        assert min(densities) <= chance <= max(densities)
+
+    def test_memorizing_generator_flagged(self):
+        """A generator that replays sparse data scores far above chance."""
+        rng = np.random.default_rng(0)
+        adj = (rng.random((4, 30, 30)) < 0.03).astype(float)
+        for k in range(4):
+            np.fill_diagonal(adj[k], 0.0)
+        g = DynamicAttributedGraph.from_tensors(adj)
+        assert edge_overlap(g, g) > 5 * expected_chance_overlap(g, g)
+
+
+class TestAttributeNN:
+    def test_replayed_rows_flagged_as_memorization(self):
+        g = graph_pair()
+        assert attribute_nn_distance(g, g) == pytest.approx(0.0)
+
+    def test_independent_rows_healthy(self):
+        a = graph_pair(seed=0)
+        b = graph_pair(seed=99)
+        assert attribute_nn_distance(a, b) > 0.3
+
+    def test_attribute_free_graph_nan(self):
+        adj = np.zeros((2, 5, 5))
+        adj[:, 0, 1] = 1.0
+        g = DynamicAttributedGraph.from_tensors(adj)
+        assert np.isnan(attribute_nn_distance(g, g))
+
+    def test_row_shuffle_not_memorization_free(self):
+        """Shuffling node identities still replays rows verbatim."""
+        g = graph_pair()
+        shuffled = shuffle_attribute_rows(g, np.random.default_rng(0))
+        assert attribute_nn_distance(g, shuffled) == pytest.approx(0.0)
+
+
+class TestDegreeFingerprint:
+    def test_identity_replay_detected(self):
+        g = graph_pair()
+        assert degree_sequence_uniqueness(g, g) == 1.0
+
+    def test_empty_original_zero(self):
+        adj = np.zeros((2, 4, 4))
+        g = DynamicAttributedGraph.from_tensors(adj)
+        assert degree_sequence_uniqueness(g, g) == 0.0
+
+    def test_different_graph_low(self):
+        a = graph_pair(seed=0)
+        b = graph_pair(seed=123)
+        assert degree_sequence_uniqueness(a, b) < 0.5
+
+
+class TestReport:
+    def test_report_keys_and_types(self):
+        g = graph_pair()
+        rep = privacy_report(g, graph_pair(seed=5))
+        assert set(rep) == {
+            "edge_overlap", "chance_overlap", "attr_nn_distance",
+            "degree_fp_overlap",
+        }
+        assert all(isinstance(v, float) for v in rep.values())

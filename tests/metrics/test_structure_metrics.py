@@ -1,0 +1,120 @@
+"""Table I structure metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.metrics import (
+    average_discrepancy,
+    clustering_distribution_mmd,
+    degree_distribution_mmd,
+    structure_metric_table,
+)
+
+
+def er_graph(n, p, t, seed):
+    rng = np.random.default_rng(seed)
+    snaps = []
+    for _ in range(t):
+        adj = (rng.random((n, n)) < p).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        snaps.append(GraphSnapshot(adj))
+    return DynamicAttributedGraph(snaps)
+
+
+class TestDegreeDistributionMMD:
+    def test_self_comparison_zero(self, tiny_graph):
+        assert degree_distribution_mmd(tiny_graph, tiny_graph) == pytest.approx(0.0)
+
+    def test_discriminates_density(self):
+        base = er_graph(30, 0.1, 3, 0)
+        near = er_graph(30, 0.1, 3, 1)
+        far = er_graph(30, 0.5, 3, 2)
+        assert degree_distribution_mmd(base, far) > degree_distribution_mmd(
+            base, near
+        )
+
+    def test_direction_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            degree_distribution_mmd(tiny_graph, tiny_graph, direction="sideways")
+
+    def test_in_vs_out_differ_on_asymmetric_graph(self):
+        # star out-edges only: out-degree dist differs from in-degree dist
+        adj = np.zeros((10, 10))
+        adj[0, 1:] = 1.0
+        g1 = DynamicAttributedGraph([GraphSnapshot(adj)])
+        g2 = DynamicAttributedGraph([GraphSnapshot(adj.T.copy())])
+        d_in = degree_distribution_mmd(g1, g2, "in")
+        assert d_in > 0
+
+    def test_truncates_to_common_length(self, tiny_graph):
+        shorter = tiny_graph[0:2]
+        val = degree_distribution_mmd(tiny_graph, shorter)
+        assert np.isfinite(val)
+
+
+class TestClusteringMMD:
+    def test_self_zero(self, tiny_graph):
+        assert clustering_distribution_mmd(tiny_graph, tiny_graph) == pytest.approx(0.0)
+
+    def test_triangle_heavy_vs_tree(self):
+        n = 12
+        # triangle-rich: union of triangles
+        adj_tri = np.zeros((n, n))
+        for i in range(0, n - 2, 3):
+            for a, b in [(i, i + 1), (i + 1, i + 2), (i, i + 2)]:
+                adj_tri[a, b] = 1.0
+        # path graph: no triangles
+        adj_path = np.zeros((n, n))
+        for i in range(n - 1):
+            adj_path[i, i + 1] = 1.0
+        g_tri = DynamicAttributedGraph([GraphSnapshot(adj_tri)])
+        g_path = DynamicAttributedGraph([GraphSnapshot(adj_path)])
+        assert clustering_distribution_mmd(g_tri, g_path) > 0.01
+
+
+class TestAverageDiscrepancy:
+    def test_self_zero(self, tiny_graph):
+        for m in ("wedge_count", "nc", "lcc"):
+            assert average_discrepancy(tiny_graph, tiny_graph, m) == pytest.approx(0.0)
+
+    def test_unknown_metric(self, tiny_graph):
+        with pytest.raises(KeyError):
+            average_discrepancy(tiny_graph, tiny_graph, "pagerank")
+
+    def test_eq19_formula(self):
+        # wedge counts: star with k leaves has C(k,2) wedges
+        def star(k, n=10):
+            adj = np.zeros((n, n))
+            adj[0, 1: k + 1] = 1.0
+            return GraphSnapshot(adj)
+
+        g1 = DynamicAttributedGraph([star(4)])  # 6 wedges
+        g2 = DynamicAttributedGraph([star(3)])  # 3 wedges
+        val = average_discrepancy(g1, g2, "wedge_count")
+        assert val == pytest.approx(abs(6 - 3) / 6)
+
+    def test_skips_zero_denominator(self):
+        empty = DynamicAttributedGraph([GraphSnapshot(np.zeros((5, 5)))])
+        full = er_graph(5, 0.5, 1, 0)
+        assert np.isnan(average_discrepancy(empty, full, "wedge_count"))
+
+
+class TestStructureMetricTable:
+    def test_all_eight_columns(self, tiny_graph):
+        table = structure_metric_table(tiny_graph, tiny_graph)
+        assert set(table) == {
+            "in_deg_dist", "out_deg_dist", "clus_dist",
+            "in_ple", "out_ple", "wedge_count", "nc", "lcc",
+        }
+
+    def test_self_comparison_all_zero(self, tiny_graph):
+        table = structure_metric_table(tiny_graph, tiny_graph)
+        for key, val in table.items():
+            assert val == pytest.approx(0.0), key
+
+    def test_worse_generator_scores_higher(self, tiny_graph):
+        dense = er_graph(16, 0.6, 4, 9)
+        table = structure_metric_table(tiny_graph, dense)
+        assert table["in_deg_dist"] > 0.001
+        assert table["wedge_count"] > 0.5

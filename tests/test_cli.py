@@ -1,0 +1,75 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "email" in out and "gdelt" in out
+
+    def test_train_and_generate(self, tmp_path, capsys):
+        model_path = str(tmp_path / "m.npz")
+        rc = main([
+            "train", "--dataset", "email", "--scale", "0.012",
+            "--epochs", "2", "--hidden-dim", "8", "--latent-dim", "4",
+            "--model-out", model_path,
+        ])
+        assert rc == 0
+        out_path = str(tmp_path / "g.npz")
+        rc = main([
+            "generate", "--model", model_path, "--timesteps", "3",
+            "--out", out_path,
+        ])
+        assert rc == 0
+        from repro.graph import io as graph_io
+
+        g = graph_io.load(out_path)
+        assert g.num_timesteps == 3
+
+    def test_experiment_json_output(self, capsys):
+        rc = main([
+            "experiment", "--name", "fig3", "--dataset", "email",
+            "--scale", "0.012", "--epochs", "2",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "VRDAG" in payload
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--name", "table99"])
+
+    def test_compare_report(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.graph import DynamicAttributedGraph, io as graph_io
+
+        rng = np.random.default_rng(0)
+        adj = (rng.random((3, 12, 12)) < 0.2).astype(float)
+        for t in range(3):
+            np.fill_diagonal(adj[t], 0.0)
+        attrs = rng.normal(size=(3, 12, 2))
+        a = DynamicAttributedGraph.from_tensors(adj, attrs)
+        b = DynamicAttributedGraph.from_tensors(
+            adj[:, :, :], attrs + rng.normal(0, 0.1, size=attrs.shape)
+        )
+        pa, pb = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        graph_io.save(a, pa)
+        graph_io.save(b, pb)
+        assert main(["compare", "--original", pa, "--synthetic", pb]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "fidelity" in payload and "privacy" in payload
+        assert payload["privacy"]["edge_overlap"] == 1.0
+
+    def test_compare_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main([
+                "compare", "--original", str(tmp_path / "nope.npz"),
+                "--synthetic", str(tmp_path / "nope2.npz"),
+            ])

@@ -1,0 +1,81 @@
+"""Property-based validation of the query engine against networkx."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.workloads import GraphQueryEngine
+
+
+def random_graph(seed, n, density, t=1):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((t, n, n)) < density).astype(float)
+    for k in range(t):
+        np.fill_diagonal(adj[k], 0.0)
+    return DynamicAttributedGraph.from_tensors(adj)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000), n=st.integers(3, 14))
+def test_property_neighbors_match_networkx(seed, n):
+    g = random_graph(seed, n, 0.3)
+    engine = GraphQueryEngine(g)
+    nxg = nx.from_numpy_array(g[0].adjacency, create_using=nx.DiGraph)
+    for v in range(n):
+        assert engine.out_neighbors(v, 0) == sorted(nxg.successors(v))
+        assert engine.in_neighbors(v, 0) == sorted(nxg.predecessors(v))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000), n=st.integers(3, 12))
+def test_property_triangles_match_networkx(seed, n):
+    g = random_graph(seed, n, 0.35)
+    engine = GraphQueryEngine(g)
+    und = nx.from_numpy_array(g[0].undirected_adjacency())
+    expected = sum(nx.triangles(und).values()) // 3
+    assert engine.triangle_count(0) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    n=st.integers(3, 12),
+    k=st.integers(1, 4),
+)
+def test_property_khop_matches_bfs(seed, n, k):
+    g = random_graph(seed, n, 0.25)
+    engine = GraphQueryEngine(g)
+    nxg = nx.from_numpy_array(g[0].adjacency, create_using=nx.DiGraph)
+    for v in range(min(n, 4)):
+        lengths = nx.single_source_shortest_path_length(nxg, v, cutoff=k)
+        expected = {u for u, d in lengths.items() if 0 < d <= k}
+        assert engine.k_hop(v, 0, k) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), n=st.integers(3, 10))
+def test_property_single_window_reachability_matches_closure(seed, n):
+    """temporal_reachable over one snapshot equals static reachability."""
+    g = random_graph(seed, n, 0.25)
+    engine = GraphQueryEngine(g)
+    nxg = nx.from_numpy_array(g[0].adjacency, create_using=nx.DiGraph)
+    descendants = {v: nx.descendants(nxg, v) for v in range(n)}
+    for u in range(min(n, 4)):
+        for v in range(n):
+            expected = u == v or v in descendants[u]
+            assert engine.temporal_reachable(u, v, 0, 0) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), n=st.integers(4, 10), t=st.integers(2, 4))
+def test_property_wider_window_reaches_no_less(seed, n, t):
+    g = random_graph(seed, n, 0.15, t=t)
+    engine = GraphQueryEngine(g)
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        u, v = rng.integers(0, n, 2)
+        narrow = engine.temporal_reachable(int(u), int(v), 0, t - 2)
+        wide = engine.temporal_reachable(int(u), int(v), 0, t - 1)
+        assert wide or not narrow  # narrow implies wide

@@ -1,0 +1,156 @@
+"""Tests for workload generation and execution."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicAttributedGraph
+from repro.workloads import (
+    GraphQueryEngine,
+    Query,
+    QueryKind,
+    WorkloadConfig,
+    WorkloadGenerator,
+    execute_workload,
+)
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    n, t = 20, 3
+    adj = (rng.random((t, n, n)) < 0.15).astype(float)
+    for k in range(t):
+        np.fill_diagonal(adj[k], 0.0)
+    attrs = rng.normal(size=(t, n, 2))
+    return DynamicAttributedGraph.from_tensors(adj, attrs)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(num_queries=0), "num_queries"),
+            (dict(mix={}), "mix"),
+            (dict(mix={QueryKind.HAS_EDGE: -1.0}), "weights"),
+            (dict(zipf_s=-0.1), "zipf_s"),
+            (dict(recent_bias=1.0), "recent_bias"),
+            (dict(range_width_quantile=0.0), "range_width"),
+        ],
+    )
+    def test_invalid_settings(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            WorkloadConfig(**kwargs).validate()
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self, graph):
+        cfg = WorkloadConfig(num_queries=50, seed=3)
+        a = WorkloadGenerator(graph, cfg).generate()
+        b = WorkloadGenerator(graph, cfg).generate()
+        assert a == b
+
+    def test_query_count(self, graph):
+        queries = WorkloadGenerator(
+            graph, WorkloadConfig(num_queries=80)
+        ).generate()
+        assert len(queries) == 80
+
+    def test_mix_proportions_roughly_respected(self, graph):
+        cfg = WorkloadConfig(
+            num_queries=600,
+            mix={QueryKind.OUT_NEIGHBORS: 0.8, QueryKind.HAS_EDGE: 0.2},
+            seed=0,
+        )
+        queries = WorkloadGenerator(graph, cfg).generate()
+        share = sum(
+            1 for q in queries if q.kind == QueryKind.OUT_NEIGHBORS
+        ) / len(queries)
+        assert 0.7 < share < 0.9
+
+    def test_zipf_skew_prefers_hubs(self, graph):
+        cfg = WorkloadConfig(
+            num_queries=500,
+            mix={QueryKind.OUT_NEIGHBORS: 1.0},
+            zipf_s=1.5,
+            seed=0,
+        )
+        gen = WorkloadGenerator(graph, cfg)
+        queries = gen.generate()
+        hub = gen._popularity_rank[0]
+        tail = gen._popularity_rank[-1]
+        hub_hits = sum(1 for q in queries if q.args[0] == hub)
+        tail_hits = sum(1 for q in queries if q.args[0] == tail)
+        assert hub_hits > tail_hits
+
+    def test_recent_bias_prefers_late_snapshots(self, graph):
+        cfg = WorkloadConfig(
+            num_queries=500,
+            mix={QueryKind.OUT_NEIGHBORS: 1.0},
+            recent_bias=0.8,
+            seed=0,
+        )
+        queries = WorkloadGenerator(graph, cfg).generate()
+        last = sum(1 for q in queries if q.t == graph.num_timesteps - 1)
+        first = sum(1 for q in queries if q.t == 0)
+        assert last > first
+
+    def test_attribute_free_graph_skips_range_queries(self):
+        rng = np.random.default_rng(1)
+        adj = (rng.random((2, 10, 10)) < 0.2).astype(float)
+        for k in range(2):
+            np.fill_diagonal(adj[k], 0.0)
+        g = DynamicAttributedGraph.from_tensors(adj)
+        cfg = WorkloadConfig(
+            num_queries=40,
+            mix={QueryKind.ATTRIBUTE_RANGE: 0.5, QueryKind.HAS_EDGE: 0.5},
+            seed=0,
+        )
+        queries = WorkloadGenerator(g, cfg).generate()
+        assert all(q.kind != QueryKind.ATTRIBUTE_RANGE for q in queries)
+        assert queries  # has_edge queries survive
+
+    def test_temporal_reach_windows_ordered(self, graph):
+        cfg = WorkloadConfig(
+            num_queries=100, mix={QueryKind.TEMPORAL_REACH: 1.0}, seed=2
+        )
+        for q in WorkloadGenerator(graph, cfg).generate():
+            u, v, t0, t1 = q.args
+            assert t0 <= t1
+
+
+class TestExecution:
+    def test_report_shape(self, graph):
+        engine = GraphQueryEngine(graph)
+        queries = WorkloadGenerator(
+            graph, WorkloadConfig(num_queries=120, seed=1)
+        ).generate()
+        report = execute_workload(engine, queries)
+        assert report.total_queries == len(queries)
+        assert report.total_seconds > 0
+        assert report.throughput() > 0
+        assert sum(report.count_by_kind.values()) == len(queries)
+        for kind, lat in report.latency_by_kind.items():
+            assert lat >= 0
+            assert report.mean_result_size[kind] >= 0
+
+    def test_empty_workload_rejected(self, graph):
+        with pytest.raises(ValueError, match="empty workload"):
+            execute_workload(GraphQueryEngine(graph), [])
+
+    def test_every_kind_executes(self, graph):
+        engine = GraphQueryEngine(graph)
+        queries = [
+            Query(QueryKind.OUT_NEIGHBORS, 0, (1,)),
+            Query(QueryKind.IN_NEIGHBORS, 0, (1,)),
+            Query(QueryKind.HAS_EDGE, 0, (0, 1)),
+            Query(QueryKind.TWO_HOP, 0, (1, 2)),
+            Query(QueryKind.TRIANGLE_COUNT, 0, ()),
+            Query(QueryKind.ATTRIBUTE_RANGE, 0, (0, -1.0, 1.0)),
+            Query(QueryKind.DEGREE_TOPK, 0, (3,)),
+            Query(QueryKind.TEMPORAL_REACH, 0, (0, 5, 0, 2)),
+        ]
+        report = execute_workload(engine, queries)
+        assert len(report.count_by_kind) == 8
