@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Performance trajectory report: kernels + paper-scale experiments.
+
+Runs (a) micro-benchmarks of every vectorized hot-path kernel against
+its ``_reference_*`` Python implementation and (b) the reduced-scale
+Fig. 9 / Table III / Table IV timing experiments, then writes the
+results to ``BENCH_perf.json`` so successive PRs have a perf trajectory
+to compare against (schema documented in ``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py             # full run
+    PYTHONPATH=src python scripts/bench_report.py --quick     # CI-sized
+    PYTHONPATH=src python scripts/bench_report.py --skip-macro
+
+The kernel section also verifies parity (vectorized output == reference
+output) before timing, so a kernel can never get "faster" by drifting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.walks import TemporalWalkSampler
+from repro.core.generator import MixBernoulliSampler
+from repro.graph.sparse import SparseDirectedGraph
+from repro.graph.temporal import TemporalEdgeList
+from repro.profiling import best_of as _best_of, profiler
+
+
+def _random_sparse_graph(
+    n: int, e: int, seed: int
+) -> SparseDirectedGraph:
+    rng = np.random.default_rng(seed)
+    return SparseDirectedGraph(n, rng.integers(0, n, size=(e, 2)))
+
+
+def _random_stream(n: int, e: int, t_len: int, seed: int) -> TemporalEdgeList:
+    rng = np.random.default_rng(seed)
+    tel = TemporalEdgeList(n, t_len)
+    for u, v, t in zip(
+        rng.integers(0, n, size=e),
+        rng.integers(0, n, size=e),
+        rng.integers(0, t_len, size=e),
+    ):
+        if u != v:
+            tel.add(int(u), int(v), int(t))
+    return tel
+
+
+def bench_kernels(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Vectorized-vs-reference timings for every hot-path kernel."""
+    # Table-IV generation scale: the paper sweeps temporal edge counts;
+    # our reduced reproduction's largest generation setting lands near
+    # N≈1200 / E≈7000 for the metric kernels and N≈160 decode rows.
+    n_graph, e_graph = (400, 2400) if quick else (1200, 7200)
+    n_decode = 60 if quick else 160
+    n_walks, walk_len = (200, 8) if quick else (1500, 12)
+    out: Dict[str, Dict[str, float]] = {}
+
+    g = _random_sparse_graph(n_graph, e_graph, seed=1)
+    cases: List[Tuple[str, Callable[[], object], Callable[[], object]]] = [
+        (
+            "sparse.clustering_coefficients",
+            g.clustering_coefficients,
+            g._reference_clustering_coefficients,
+        ),
+        (
+            "sparse.connected_component_sizes",
+            g.connected_component_sizes,
+            g._reference_connected_component_sizes,
+        ),
+        ("sparse.wedge_count", g.wedge_count, g._reference_wedge_count),
+    ]
+    for name, fast, ref in cases:
+        fast_out, ref_out = fast(), ref()
+        if isinstance(fast_out, np.ndarray):
+            assert np.allclose(fast_out, ref_out), f"{name} parity violated"
+        else:
+            assert fast_out == ref_out, f"{name} parity violated"
+        out[name] = {
+            "n": n_graph,
+            "edges": g.num_edges,
+            "reference_s": _best_of(ref, repeats),
+            "vectorized_s": _best_of(fast, repeats),
+        }
+
+    # fused MixBernoulli decode (structure generation hot path)
+    rng = np.random.default_rng(2)
+    sampler = MixBernoulliSampler(36, num_components=3, rng=rng)
+    s = Tensor(rng.normal(size=(n_decode, 36)))
+    assert np.array_equal(
+        sampler.sample(s, np.random.default_rng(5)),
+        sampler._reference_sample(s, np.random.default_rng(5)),
+    ), "decode parity violated"
+    out["generator.mixbernoulli_sample"] = {
+        "n": n_decode,
+        "edges": n_decode * n_decode,
+        "reference_s": _best_of(
+            lambda: sampler._reference_sample(s, np.random.default_rng(5)),
+            repeats,
+        ),
+        "vectorized_s": _best_of(
+            lambda: sampler.sample(s, np.random.default_rng(5)), repeats
+        ),
+    }
+
+    # batched temporal walk sampling (Fig. 9 baseline hot path)
+    stream = _random_stream(max(n_graph // 4, 20), e_graph, 10, seed=3)
+    sam = TemporalWalkSampler(stream, time_window=2, seed=0)
+
+    def scalar_walks() -> list:
+        walks = []
+        for _ in range(n_walks):
+            w = sam.sample_walk(walk_len)
+            if w and len(w) >= 2:
+                walks.append(w)
+        return walks
+
+    out["walks.sample_walks"] = {
+        "n": n_walks,
+        "edges": len(list(stream)),
+        "reference_s": _best_of(scalar_walks, repeats),
+        "vectorized_s": _best_of(
+            lambda: sam.sample_walks(n_walks, walk_len), repeats
+        ),
+    }
+
+    for entry in out.values():
+        entry["speedup"] = (
+            entry["reference_s"] / entry["vectorized_s"]
+            if entry["vectorized_s"] > 0
+            else float("inf")
+        )
+    return out
+
+
+def bench_experiments(quick: bool) -> Dict[str, object]:
+    """Reduced-scale Fig. 9 + Table III/IV wall-clock sweeps."""
+    from repro.eval.experiments import run_fig9_times, run_scalability_sweep
+
+    scale = 0.015 if quick else 0.025
+    epochs = 3 if quick else 6
+    edge_counts = (100, 300) if quick else (150, 500, 1200)
+    out: Dict[str, object] = {}
+    with profiler.enable():
+        out["fig9_times"] = run_fig9_times(
+            "email", scale=scale, epochs=epochs
+        )
+        out["table3_table4_scalability"] = run_scalability_sweep(
+            edge_counts=edge_counts, scale=scale, epochs=epochs
+        )
+    return out
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized scales (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--skip-macro", action="store_true",
+        help="kernel micro-benchmarks only (skip fig9/table3/table4)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per kernel (best-of)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_perf.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    profiler.reset()
+    t0 = time.perf_counter()
+    kernels = bench_kernels(args.quick, args.repeats)
+    experiments: Dict[str, object] = {}
+    if not args.skip_macro:
+        experiments = bench_experiments(args.quick)
+    report = {
+        "schema_version": 1,
+        "created_unix": time.time(),
+        "total_seconds": time.perf_counter() - t0,
+        "config": {
+            "quick": args.quick,
+            "repeats": args.repeats,
+            "skip_macro": args.skip_macro,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "kernels": kernels,
+        "experiments": experiments,
+        "profiler": profiler.snapshot(),
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {args.output}")
+    print(f"{'kernel':<36} {'ref_s':>9} {'vec_s':>9} {'speedup':>8}")
+    for name, entry in kernels.items():
+        print(
+            f"{name:<36} {entry['reference_s']:>9.4f} "
+            f"{entry['vectorized_s']:>9.4f} {entry['speedup']:>7.1f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,16 @@ Walk = List[Tuple[int, int]]  # [(node, time), ...]
 
 
 class TemporalWalkSampler:
-    """Samples temporal random walks from an observed edge stream."""
+    """Samples temporal random walks from an observed edge stream.
+
+    The symmetrized stream is stored as flat arrays sorted by
+    ``(node, time)``; a walk step for *all* active walks at once then
+    reduces to two ``searchsorted`` calls (the per-walk candidate window
+    ``|t' - t| <= w`` is a contiguous slice of each node's time-sorted
+    row) plus one vectorized uniform pick — no per-candidate Python
+    work.  :meth:`sample_walk` keeps the original scalar sampler as the
+    parity reference.
+    """
 
     def __init__(
         self,
@@ -42,6 +51,31 @@ class TemporalWalkSampler:
             self._adj[u].append((v, t))
             self._adj[v].append((u, t))
         self._starts: List[Tuple[int, int]] = [(u, t) for u, v, t in edges]
+        # flat (node, time)-sorted arrays for the batched sampler
+        edge_list = list(edges)
+        if edge_list:
+            arr = np.asarray(edge_list, dtype=np.int64)  # (E, 3) u, v, t
+            src = np.concatenate([arr[:, 0], arr[:, 1]])
+            dst = np.concatenate([arr[:, 1], arr[:, 0]])
+            tim = np.concatenate([arr[:, 2], arr[:, 2]])
+            order = np.lexsort((tim, src))
+            self._flat_dst = dst[order]
+            self._flat_t = tim[order]
+            self._t_min = int(tim.min())
+            self._t_span = int(tim.max()) - self._t_min + 1
+            # composite (node, time) sort key: per-node slices stay
+            # time-sorted, so one searchsorted bounds a time window
+            self._flat_key = src[order] * self._t_span + tim[order] - self._t_min
+            self._start_u = arr[:, 0]
+            self._start_t = arr[:, 2]
+        else:
+            self._flat_dst = np.zeros(0, dtype=np.int64)
+            self._flat_t = np.zeros(0, dtype=np.int64)
+            self._flat_key = np.zeros(0, dtype=np.int64)
+            self._t_min = 0
+            self._t_span = 1
+            self._start_u = np.zeros(0, dtype=np.int64)
+            self._start_t = np.zeros(0, dtype=np.int64)
 
     def sample_walk(self, length: int) -> Optional[Walk]:
         """One temporal walk of at most ``length`` (node, time) steps."""
@@ -62,12 +96,63 @@ class TemporalWalkSampler:
         return walk
 
     def sample_walks(self, count: int, length: int) -> List[Walk]:
-        """Draw ``num_walks`` time-respecting random walks."""
-        walks = []
-        for _ in range(count):
-            w = self.sample_walk(length)
-            if w and len(w) >= 2:
-                walks.append(w)
+        """Draw up to ``count`` time-respecting walks, batch-stepped.
+
+        All walks advance together: per step, each active walk's
+        candidate slice ``[t - w, t + w]`` within its current node's
+        time-sorted row is located with two vectorized ``searchsorted``
+        calls and one candidate is drawn uniformly.  Walks that reach a
+        node with no in-window continuation retire; walks shorter than
+        two steps are dropped, as before.
+        """
+        if count < 1 or length < 2 or self._start_u.size == 0:
+            return []  # walks shorter than 2 steps are filtered anyway
+        w = self.time_window
+        picks = self.rng.integers(self._start_u.size, size=count)
+        cur_u = self._start_u[picks].copy()
+        cur_t = self._start_t[picks].copy()
+        nodes = np.full((count, length), -1, dtype=np.int64)
+        times = np.zeros((count, length), dtype=np.int64)
+        nodes[:, 0] = cur_u
+        times[:, 0] = cur_t
+        lengths = np.ones(count, dtype=np.int64)
+        active = np.ones(count, dtype=bool)
+        for step in range(1, length):
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            au, at = cur_u[idx], cur_t[idx]
+            base = au * self._t_span - self._t_min
+            lo = np.searchsorted(
+                self._flat_key, base + np.maximum(at - w, self._t_min), "left"
+            )
+            hi = np.searchsorted(
+                self._flat_key,
+                base + np.minimum(at + w, self._t_min + self._t_span - 1),
+                "right",
+            )
+            counts = hi - lo
+            has_next = counts > 0
+            stepping = idx[has_next]
+            active[idx[~has_next]] = False
+            if stepping.size == 0:
+                break
+            chosen = lo[has_next] + (
+                self.rng.random(stepping.size) * counts[has_next]
+            ).astype(np.int64)
+            cur_u[stepping] = self._flat_dst[chosen]
+            cur_t[stepping] = self._flat_t[chosen]
+            nodes[stepping, step] = cur_u[stepping]
+            times[stepping, step] = cur_t[stepping]
+            lengths[stepping] = step + 1
+        walks: List[Walk] = []
+        for i in range(count):
+            n_steps = int(lengths[i])
+            if n_steps < 2:
+                continue
+            walks.append(
+                list(zip(nodes[i, :n_steps].tolist(), times[i, :n_steps].tolist()))
+            )
         return walks
 
 
@@ -121,14 +206,21 @@ def merge_walks_into_graph(
             if adj[u, v] == 0:
                 adj[u, v] = 1.0
                 placed += 1
-        # pad with walk-frequency-weighted random edges
+        # pad with walk-frequency-weighted random edges, drawn in
+        # batches (per-pair rng.choice calls re-scan the probability
+        # vector every time; one batched draw amortizes that)
         attempts = 0
-        while placed < target and attempts < target * 20:
-            u, v = rng.choice(num_nodes, size=2, p=node_probs)
-            attempts += 1
-            if u != v and adj[u, v] == 0:
-                adj[u, v] = 1.0
-                placed += 1
+        max_attempts = target * 20
+        while placed < target and attempts < max_attempts:
+            batch = min(max(2 * (target - placed), 8), max_attempts - attempts)
+            pairs = rng.choice(num_nodes, size=(batch, 2), p=node_probs)
+            attempts += batch
+            for u, v in pairs:
+                if placed >= target:
+                    break
+                if u != v and adj[u, v] == 0:
+                    adj[u, v] = 1.0
+                    placed += 1
         np.fill_diagonal(adj, 0.0)
         snaps.append(GraphSnapshot(adj, None, validate=False))
     return DynamicAttributedGraph(snaps)

@@ -23,6 +23,103 @@ from repro.nn.linear import get_activation
 _PROB_EPS = 1e-7
 
 
+# ----------------------------------------------------------------------
+# raw-NumPy inference kernels
+#
+# Generation never needs gradients, so the decode hot path runs the MLP
+# heads directly on ndarrays: no Tensor allocation, no tape bookkeeping,
+# and the (N, N) pairwise features are processed in row blocks so the
+# full (K, N, N) tensor is never materialized.  Each activation mirrors
+# its autodiff twin in ``repro.autodiff.functional`` operation-for-
+# operation; the only numerical difference from the reference path is
+# the reassociated first linear layer (see _first_layer_projection),
+# which agrees to within a few ulp.
+# ----------------------------------------------------------------------
+def _np_sigmoid(x: np.ndarray) -> np.ndarray:
+    # same stable piecewise form as F.sigmoid, but each branch is
+    # evaluated only on its own elements (a np.where computes both
+    # exp passes over the full array); per-element results are
+    # bit-identical to the reference
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    neg = ~pos
+    e = np.exp(x[neg])
+    out[neg] = e / (1.0 + e)
+    return out
+
+
+_NP_ACTIVATIONS = {
+    # max(x, 0.2*x) == leaky_relu for any slope < 1, in two array passes
+    # instead of the three a where-mask needs; values match
+    # F.leaky_relu bit-for-bit (same products, exact max selection)
+    "relu": lambda x: np.maximum(x, 0.0),
+    "leaky_relu": lambda x: np.maximum(x, 0.2 * x),
+    "tanh": np.tanh,
+    "sigmoid": _np_sigmoid,
+    "elu": lambda x: np.where(x > 0, x, np.exp(np.clip(x, None, 0)) - 1.0),
+    "softplus": lambda x: np.logaddexp(0.0, x),
+    "identity": lambda x: x,
+}
+
+#: piecewise-linear activations decompose as ``a*x + c*|x|`` — the key
+#: to pooling them over all pairs in closed form (see
+#: :meth:`MixBernoulliSampler._pooled_alpha_features_np`)
+_ABS_DECOMPOSITION = {
+    "relu": (0.5, 0.5),
+    "leaky_relu": (0.6, 0.4),  # slope 0.2: (1+m)/2, (1-m)/2
+    "identity": (1.0, 0.0),
+}
+
+
+def _np_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _first_layer_projection(mlp: MLP, s: np.ndarray) -> np.ndarray:
+    """``s @ W1`` — the only O(d) matmul of the pairwise heads.
+
+    The heads evaluate ``mlp(s_i - s_j)`` for all pairs; the first
+    layer is linear, so ``(s_i - s_j) @ W1 = P_i - P_j`` with
+    ``P = s @ W1`` computed once per decode instead of per pair.  This
+    drops the dominant O(N² · d · h) matmul to O(N · d · h).
+    """
+    return s @ mlp.layers[0].weight.data
+
+
+def _pairwise_head_block(
+    mlp: MLP, proj: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Head outputs for source rows ``[lo, hi)`` against all columns.
+
+    ``proj`` is the :func:`_first_layer_projection` of the states.
+    Returns a ``((hi - lo) * N, out)`` array; no autodiff nodes are
+    created anywhere on this path.
+    """
+    h = proj[lo:hi, None, :] - proj[None, :, :]
+    first = mlp.layers[0]
+    if first.bias is not None:
+        h = h + first.bias.data
+    x = h.reshape(-1, h.shape[-1])
+    act = _NP_ACTIVATIONS[mlp.activation]
+    out_act = _NP_ACTIVATIONS[mlp.out_activation]
+    if len(mlp.layers) == 1:
+        return out_act(x)
+    x = act(x)
+    for layer in mlp.layers[1:-1]:
+        x = x @ layer.weight.data
+        if layer.bias is not None:
+            x = x + layer.bias.data
+        x = act(x)
+    last = mlp.layers[-1]
+    x = x @ last.weight.data
+    if last.bias is not None:
+        x = x + last.bias.data
+    return out_act(x)
+
+
 class MixBernoulliSampler(Module):
     """Mixture-of-Bernoulli adjacency model (Eq. 11).
 
@@ -146,21 +243,164 @@ class MixBernoulliSampler(Module):
         mixed = F.logsumexp(F.log(alpha, eps=1e-12) + row_loglik, axis=1)
         return mixed.mean()
 
-    def edge_probabilities(self, s: Tensor) -> np.ndarray:
-        """Marginal edge probability matrix Ã under the mixture."""
-        alpha, theta = self.distribution(s)
+    # ------------------------------------------------------------------
+    # fused no-grad decode (generation hot path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_block_rows(n: int, block_size: Optional[int]) -> int:
+        """Row-block height keeping the pairwise buffer ~32k rows."""
+        if block_size is not None:
+            return max(int(block_size), 1)
+        return max(32768 // max(n, 1), 1)
+
+    def _pooled_alpha_features_np(
+        self, proj: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Closed-form ``Σ_j f_α(s_i - s_j)`` in O(N log N · h).
+
+        The pooled α features sum a 2-layer MLP over all destinations.
+        Pooling commutes through the (linear) output layer, and a
+        piecewise-linear hidden activation splits as ``a·x + c·|x|``,
+        so with ``x_ij = P_i + b₁ - P_j`` the pooled hidden vector is
+
+            Σ_j act(x_ij) = a·(N·v_i - Σ_j P_j) + c·Σ_j |v_i - P_j|
+
+        and the absolute-deviation sum is the classic sorted
+        prefix-sum identity — no N² pass at all.  Returns ``None``
+        when the head's shape/activation doesn't admit the shortcut
+        (caller falls back to the blocked pairwise pass).
+        """
+        mlp = self.f_alpha
+        if (
+            len(mlp.layers) != 2
+            or mlp.activation not in _ABS_DECOMPOSITION
+            or mlp.out_activation != "identity"
+        ):
+            return None
+        a, c = _ABS_DECOMPOSITION[mlp.activation]
+        n, h = proj.shape
+        first, last = mlp.layers
+        v = proj + first.bias.data if first.bias is not None else proj
+        linear_part = a * (n * v - proj.sum(axis=0))
+        if c:
+            q = np.sort(proj, axis=0)  # (N, h), per-dim ascending
+            prefix = np.vstack([np.zeros((1, h)), np.cumsum(q, axis=0)])
+            abs_part = np.empty_like(v)
+            for dim in range(h):
+                r = np.searchsorted(q[:, dim], v[:, dim])
+                below = prefix[r, dim]
+                abs_part[:, dim] = (
+                    v[:, dim] * (2 * r - n) - 2 * below + prefix[n, dim]
+                )
+            pooled = linear_part + c * abs_part
+        else:
+            pooled = linear_part
+        feats = pooled @ last.weight.data
+        if last.bias is not None:
+            feats = feats + n * last.bias.data
+        return feats
+
+    def _mixture_weights_np(
+        self, s_np: np.ndarray, block: int
+    ) -> np.ndarray:
+        """Row mixing weights α (N, K): closed-form pooling when the
+        head admits it, otherwise a row-blocked pairwise pass."""
+        n = s_np.shape[0]
+        proj = _first_layer_projection(self.f_alpha, s_np)
+        alpha_feats = self._pooled_alpha_features_np(proj)
+        if alpha_feats is None:
+            alpha_feats = np.zeros((n, self.num_components))
+            for lo in range(0, n, block):
+                hi = min(lo + block, n)
+                feats = _pairwise_head_block(self.f_alpha, proj, lo, hi)
+                alpha_feats[lo:hi] = feats.reshape(
+                    hi - lo, n, self.num_components
+                ).sum(axis=1)  # pool over j
+        return _np_softmax(alpha_feats, axis=-1)
+
+    def edge_probabilities(
+        self, s: Tensor, block_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Marginal edge probability matrix Ã under the mixture.
+
+        Row-blocked no-grad kernel; never materializes the full
+        ``(N, N, K)`` θ tensor.
+        """
+        s_np = np.asarray(s.data if isinstance(s, Tensor) else s, dtype=np.float64)
+        n = s_np.shape[0]
+        block = self._decode_block_rows(n, block_size)
+        alpha = self._mixture_weights_np(s_np, block)
+        proj = _first_layer_projection(self.f_theta, s_np)
+        probs = np.zeros((n, n))
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            theta = _np_sigmoid(
+                _pairwise_head_block(self.f_theta, proj, lo, hi)
+            ).reshape(hi - lo, n, self.num_components)
+            probs[lo:hi] = (theta * alpha[lo:hi, None, :]).sum(axis=2)
+        np.fill_diagonal(probs, 0.0)
+        return probs
+
+    def sample(
+        self,
+        s: Tensor,
+        rng: np.random.Generator,
+        block_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw an adjacency matrix: per row pick a component, then edges.
+
+        Fused decode: one blocked pass pools the α features, the row
+        components are drawn, then a second blocked pass evaluates θ and
+        samples edges — only the chosen component's probabilities are
+        ever used, and no autodiff nodes are created.  RNG consumption
+        (one ``(N, 1)`` draw, one ``(N, N)`` draw) matches
+        :meth:`_reference_sample` exactly; θ agrees with the reference
+        to within a few ulp (reassociated first layer), so both paths
+        produce the same graphs from identical generator states except
+        with vanishing probability.
+        """
+        s_np = np.asarray(s.data if isinstance(s, Tensor) else s, dtype=np.float64)
+        n = s_np.shape[0]
+        block = self._decode_block_rows(n, block_size)
+        alpha = self._mixture_weights_np(s_np, block)
+        # normalize to be safe against float drift, then vectorize the
+        # categorical draw via inverse-CDF sampling per row
+        alpha = alpha / alpha.sum(axis=1, keepdims=True)
+        cdf = np.cumsum(alpha, axis=1)
+        u = rng.random((n, 1))
+        components = (u > cdf).sum(axis=1).clip(0, self.num_components - 1)
+        edge_u = rng.random((n, n))
+        proj = _first_layer_projection(self.f_theta, s_np)
+        adj = np.zeros((n, n))
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            theta = _np_sigmoid(
+                _pairwise_head_block(self.f_theta, proj, lo, hi)
+            ).reshape(hi - lo, n, self.num_components)
+            row_theta = np.take_along_axis(
+                theta, components[lo:hi, None, None], axis=2
+            )[:, :, 0]
+            adj[lo:hi] = (edge_u[lo:hi] < row_theta).astype(np.float64)
+        np.fill_diagonal(adj, 0.0)
+        return adj
+
+    # ------------------------------------------------------------------
+    # reference decode (parity-test ground truth)
+    # ------------------------------------------------------------------
+    def _reference_edge_probabilities(self, s: Tensor) -> np.ndarray:
+        """Dense-tensor marginal Ã (reference)."""
+        alpha, theta = self.distribution(as_tensor(s))
         probs = (theta.data * alpha.data[:, None, :]).sum(axis=2)
         np.fill_diagonal(probs, 0.0)
         return probs
 
-    def sample(self, s: Tensor, rng: np.random.Generator) -> np.ndarray:
-        """Draw an adjacency matrix: per row pick a component, then edges."""
+    def _reference_sample(self, s: Tensor, rng: np.random.Generator) -> np.ndarray:
+        """Dense-tensor adjacency sampling (reference)."""
+        s = as_tensor(s)
         n = s.shape[0]
         alpha, theta = self.distribution(s)
         alpha_np = alpha.data
         theta_np = theta.data
-        # normalize to be safe against float drift, then vectorize the
-        # categorical draw via inverse-CDF sampling per row
         alpha_np = alpha_np / alpha_np.sum(axis=1, keepdims=True)
         cdf = np.cumsum(alpha_np, axis=1)
         u = rng.random((n, 1))

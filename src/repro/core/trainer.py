@@ -12,6 +12,7 @@ from repro.core.model import VRDAG
 from repro.core.schedule import Schedule
 from repro.graph import DynamicAttributedGraph
 from repro.nn import Adam
+from repro.profiling import profiler
 
 
 @dataclass
@@ -84,12 +85,15 @@ class VRDAGTrainer:
                 self.model.config.kl_weight = (
                     base_kl_weight * self.config.kl_schedule.value(epoch)
                 )
-            loss, logs = self.model.sequence_loss(graph)
+            with profiler.timer("trainer.forward"):
+                loss, logs = self.model.sequence_loss(graph)
             self.optimizer.zero_grad()
-            loss.backward()
+            with profiler.timer("trainer.backward"):
+                loss.backward()
             if self.config.grad_clip:
                 self.optimizer.clip_grad_norm(self.config.grad_clip)
-            self.optimizer.step()
+            with profiler.timer("trainer.optimizer_step"):
+                self.optimizer.step()
             loss_val = float(loss.data)
             if not np.isfinite(loss_val):
                 raise FloatingPointError(
@@ -116,13 +120,14 @@ class VRDAGTrainer:
                         break
         self.model.config.kl_weight = base_kl_weight
         if self.model.config.num_attributes > 0:
-            self.model.set_attribute_noise(
-                self.model.attribute_residual_cov(graph)
-            )
-            self.model.set_noise_autocorrelation(
-                VRDAG.estimate_attribute_autocorrelation(graph)
-            )
-            self._calibrate_rollout(graph)
+            with profiler.timer("trainer.calibration"):
+                self.model.set_attribute_noise(
+                    self.model.attribute_residual_cov(graph)
+                )
+                self.model.set_noise_autocorrelation(
+                    VRDAG.estimate_attribute_autocorrelation(graph)
+                )
+                self._calibrate_rollout(graph)
         result.train_seconds = time.perf_counter() - start
         return result
 

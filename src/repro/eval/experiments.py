@@ -37,6 +37,7 @@ from repro.metrics.difference import (
     structure_difference_series,
 )
 from repro.downstream import evaluate_augmentation
+from repro.profiling import profiler
 
 
 # ----------------------------------------------------------------------
@@ -60,7 +61,8 @@ def run_table1(
             run = timed_fit_generate(name, spec.factory(), graph, seed=seed + 1)
         except DymondCapacityError:
             continue  # paper: Dymond only runs on the smallest dataset
-        rows[name] = structure_metric_table(graph, run.generated)
+        with profiler.timer("experiments.structure_metrics"):
+            rows[name] = structure_metric_table(graph, run.generated)
     return rows
 
 
@@ -228,7 +230,8 @@ def run_scalability_sweep(
     out: Dict[str, Dict[int, Dict[str, float]]] = {m: {} for m in methods}
     attrs = base.attribute_tensor()
     for count in edge_counts:
-        sub = stream.subsample(count, rng).to_dynamic_graph(attributes=attrs)
+        with profiler.timer("experiments.scalability.subsample"):
+            sub = stream.subsample(count, rng).to_dynamic_graph(attributes=attrs)
         for name in methods:
             run = timed_fit_generate(
                 name, registry[name].factory(), sub, seed=seed + 1

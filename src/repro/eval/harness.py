@@ -19,6 +19,7 @@ from repro.baselines import (
 from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
 from repro.core.schedule import LinearWarmup
 from repro.graph import DynamicAttributedGraph
+from repro.profiling import profiler
 
 
 class VRDAGGenerator(GraphGenerator):
@@ -142,10 +143,12 @@ def timed_fit_generate(
     """Fit then generate, recording wall-clock for each stage."""
     steps = num_timesteps or graph.num_timesteps
     t0 = time.perf_counter()
-    generator.fit(graph)
+    with profiler.timer(f"harness.fit.{name}"):
+        generator.fit(graph)
     fit_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    generated = generator.generate(steps, seed=seed)
+    with profiler.timer(f"harness.generate.{name}"):
+        generated = generator.generate(steps, seed=seed)
     gen_s = time.perf_counter() - t0
     return TimedRun(
         name=name, fit_seconds=fit_s, generate_seconds=gen_s, generated=generated

@@ -7,15 +7,44 @@ This module provides a light CSR-style representation plus sparse
 implementations of the metrics that dominate at scale, so the metric
 suite can score graphs an order of magnitude larger than the generator
 itself handles.
+
+All public metrics run as vectorized NumPy kernels over the CSR
+arrays; the original per-element Python implementations are kept as
+``_reference_*`` methods and serve as the ground truth for the parity
+tests in ``tests/graph/test_sparse_parity.py``.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.snapshot import GraphSnapshot
+
+
+def _ragged_gather_indices(
+    starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Indices that concatenate ``arr[starts[i]:starts[i]+lengths[i]]``.
+
+    The standard repeat/arange trick: element ``p`` of the output lies
+    in segment ``s`` and equals ``starts[s] + (p - lengths[:s].sum())``.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    # cumulative-sum formulation: seed each segment boundary with the
+    # jump from the previous segment's end to the next start, then one
+    # cumsum yields every index (cheaper than variable-count np.repeat)
+    keep = lengths > 0
+    starts = starts[keep]
+    lengths = lengths[keep]
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = starts[0]
+    bounds = np.cumsum(lengths)[:-1]
+    steps[bounds] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(steps)
 
 
 class SparseDirectedGraph:
@@ -24,19 +53,22 @@ class SparseDirectedGraph:
     def __init__(self, num_nodes: int, edges: np.ndarray):
         """``edges`` is an ``(E, 2)`` int array of (src, dst) pairs."""
         self.num_nodes = int(num_nodes)
+        if self.num_nodes < 0:
+            raise ValueError("num_nodes must be >= 0")
         edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
-        if edges.size and (edges.min() < 0 or edges.max() >= num_nodes):
+        if edges.size and (edges.min() < 0 or edges.max() >= self.num_nodes):
             raise ValueError("edge endpoints out of range")
-        # drop self-loops, deduplicate
-        if edges.size:
-            edges = edges[edges[:, 0] != edges[:, 1]]
-            edges = np.unique(edges, axis=0)
-        order = np.lexsort((edges[:, 1], edges[:, 0])) if edges.size else []
-        self._edges = edges[order] if edges.size else edges
-        counts = np.bincount(
-            self._edges[:, 0], minlength=num_nodes
-        ) if edges.size else np.zeros(num_nodes, dtype=np.int64)
-        self._offsets = np.concatenate([[0], np.cumsum(counts)])
+        # One code path for empty and non-empty inputs: drop self-loops,
+        # then ``np.unique(axis=0)`` both deduplicates and sorts rows
+        # lexicographically by (src, dst) — exactly CSR order.
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        self._edges = np.unique(edges, axis=0)
+        counts = np.bincount(self._edges[:, 0], minlength=self.num_nodes)
+        self._offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+        # lazily built symmetrized CSR view (indptr, indices)
+        self._sym_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -58,33 +90,192 @@ class SparseDirectedGraph:
         return len(self._edges)
 
     def out_neighbors(self, node: int) -> np.ndarray:
-        """Out-neighbour ids of node ``v`` (CSR row slice)."""
+        """Out-neighbour ids of node ``v`` (CSR row slice, sorted)."""
         lo, hi = self._offsets[node], self._offsets[node + 1]
         return self._edges[lo:hi, 1]
 
+    def has_edge(self, u: int, v: int) -> bool:
+        """O(log d) directed edge membership via binary search.
+
+        The CSR row slice of ``u`` is sorted by destination, so a
+        ``searchsorted`` over it answers membership without scanning.
+        """
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise ValueError("edge endpoints out of range")
+        row = self.out_neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and int(row[pos]) == v
+
     # ------------------------------------------------------------------
     def out_degrees(self) -> np.ndarray:
-        """Out-degree per node, shape ``(N,)``."""
-        return np.diff(self._offsets).astype(np.float64)
+        """Out-degree per node, shape ``(N,)`` (int64 counts)."""
+        return np.diff(self._offsets).astype(np.int64)
 
     def in_degrees(self) -> np.ndarray:
-        """In-degree per node, shape ``(N,)``."""
-        deg = np.zeros(self.num_nodes)
+        """In-degree per node, shape ``(N,)`` (int64 counts)."""
         if len(self._edges):
-            np.add.at(deg, self._edges[:, 1], 1.0)
-        return deg
+            return np.bincount(
+                self._edges[:, 1], minlength=self.num_nodes
+            ).astype(np.int64)
+        return np.zeros(self.num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # symmetrized structure
+    # ------------------------------------------------------------------
+    def symmetric_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of the symmetrized graph: ``(indptr, indices)``.
+
+        Neighbour lists are sorted and deduplicated; built once and
+        cached (all undirected metrics share it).
+        """
+        if self._sym_csr is None:
+            both = np.concatenate([self._edges, self._edges[:, ::-1]], axis=0)
+            both = np.unique(both, axis=0)
+            counts = np.bincount(both[:, 0], minlength=self.num_nodes)
+            indptr = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+            )
+            self._sym_csr = (indptr, np.ascontiguousarray(both[:, 1]))
+        return self._sym_csr
 
     def undirected_neighbor_sets(self) -> List[set]:
         """Per-node neighbour sets of the symmetrized graph."""
+        indptr, indices = self.symmetric_csr()
+        return [
+            set(indices[indptr[i]:indptr[i + 1]].tolist())
+            for i in range(self.num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # vectorized metric kernels
+    # ------------------------------------------------------------------
+    def clustering_coefficients(self) -> np.ndarray:
+        """Local clustering per node on the symmetrized structure.
+
+        Sorted-neighbour triangle counting with no per-node Python
+        loop: CSR entries are globally sorted under the composite key
+        ``row * N + col``, so "is ``w`` a neighbour of ``v``" for *all*
+        wedges ``(u, v, w)`` at once is a single ``searchsorted`` of
+        the wedge keys ``v * N + w`` into the CSR key array.  Work is
+        O(#wedges · log d), fully vectorized; wedge batches are chunked
+        to bound peak memory on heavy-tailed degree sequences.
+        """
+        indptr, indices = self.symmetric_csr()
+        n = self.num_nodes
+        deg = np.diff(indptr)
+        cc = np.zeros(n)
+        n_entries = indices.size
+        if n_entries == 0:
+            return cc
+        edge_src = np.repeat(np.arange(n, dtype=np.int64), deg)
+        # membership oracle: a dense bool matrix is one fancy-indexed
+        # gather per wedge (used while N² bits stay small); beyond that,
+        # binary search of composite keys row*N+col over the CSR entries
+        use_dense = n * n <= (1 << 24)
+        if use_dense:
+            member = np.zeros((n, n), dtype=bool)
+            member[edge_src, indices] = True
+        else:
+            csr_keys = edge_src * n + indices  # globally sorted
+        # |N(u) ∩ N(v)| is symmetric, so count once per undirected edge
+        # (u < v), probing continuations from the *smaller* neighbour
+        # list, then scatter the count to both endpoints
+        half = edge_src < indices
+        h_src = edge_src[half]
+        h_dst = indices[half]
+        swap = deg[h_dst] < deg[h_src]
+        probe = np.where(swap, h_dst, h_src)
+        other = np.where(swap, h_src, h_dst)
+        lengths_all = deg[probe]
+        links = np.zeros(n)
+        n_half = h_src.size
+        chunk = max(1 << 18, int(deg.max()) + 1)
+        query_budget = np.cumsum(lengths_all)
+        start = 0
+        while start < n_half:
+            stop = int(
+                np.searchsorted(
+                    query_budget, query_budget[start] + chunk, "left"
+                )
+            )
+            stop = min(max(stop, start + 1), n_half)
+            e_probe = probe[start:stop]
+            e_other = other[start:stop]
+            lengths = lengths_all[start:stop]
+            wedge_v = np.repeat(e_other, lengths)
+            wedge_w = indices[
+                _ragged_gather_indices(indptr[e_probe], lengths)
+            ]
+            if use_dense:
+                found = member[wedge_v, wedge_w]
+            else:
+                queries = wedge_v * n + wedge_w
+                pos = np.minimum(
+                    np.searchsorted(csr_keys, queries), n_entries - 1
+                )
+                found = csr_keys[pos] == queries
+            eid = np.repeat(np.arange(stop - start), lengths)
+            per_edge = np.bincount(eid[found], minlength=stop - start)
+            links += np.bincount(
+                h_src[start:stop], weights=per_edge, minlength=n
+            )
+            links += np.bincount(
+                h_dst[start:stop], weights=per_edge, minlength=n
+            )
+            start = stop
+        possible = deg * (deg - 1)
+        np.divide(links, possible, out=cc, where=possible > 0)
+        return cc
+
+    def connected_component_sizes(self) -> List[int]:
+        """Weakly connected component sizes via min-label propagation.
+
+        Each round pulls the minimum label across every edge
+        (``np.minimum.at``) and then pointer-jumps (``labels[labels]``)
+        until a fixed point; converges in O(log N) rounds on typical
+        graphs with all per-edge work vectorized.
+        """
+        n = self.num_nodes
+        labels = np.arange(n, dtype=np.int64)
+        if len(self._edges):
+            u = self._edges[:, 0]
+            v = self._edges[:, 1]
+            while True:
+                prev = labels.copy()
+                np.minimum.at(labels, u, labels[v])
+                np.minimum.at(labels, v, labels[u])
+                # pointer jumping: labels only ever decrease, so this
+                # telescopes chains without changing component identity
+                while True:
+                    jumped = labels[labels]
+                    if np.array_equal(jumped, labels):
+                        break
+                    labels = jumped
+                if np.array_equal(labels, prev):
+                    break
+        sizes = np.bincount(labels, minlength=0)
+        return sorted((int(s) for s in sizes[sizes > 0]), reverse=True)
+
+    def wedge_count(self) -> int:
+        """Number of undirected wedges (2-paths), from the degree vector."""
+        indptr, _ = self.symmetric_csr()
+        deg = np.diff(indptr)
+        return int((deg * (deg - 1) // 2).sum())
+
+    # ------------------------------------------------------------------
+    # reference implementations (parity-test ground truth)
+    # ------------------------------------------------------------------
+    def _reference_undirected_neighbor_sets(self) -> List[set]:
+        """Per-node neighbour sets built edge-by-edge (reference)."""
         nbrs: List[set] = [set() for _ in range(self.num_nodes)]
         for u, v in self._edges:
             nbrs[u].add(int(v))
             nbrs[v].add(int(u))
         return nbrs
 
-    def clustering_coefficients(self) -> np.ndarray:
-        """Local clustering per node via neighbour-set intersection."""
-        nbrs = self.undirected_neighbor_sets()
+    def _reference_clustering_coefficients(self) -> np.ndarray:
+        """Set-intersection clustering (reference)."""
+        nbrs = self._reference_undirected_neighbor_sets()
         cc = np.zeros(self.num_nodes)
         for i, ni in enumerate(nbrs):
             k = len(ni)
@@ -96,8 +287,8 @@ class SparseDirectedGraph:
             cc[i] = links / (k * (k - 1))
         return cc
 
-    def connected_component_sizes(self) -> List[int]:
-        """Weakly connected component sizes via union-find."""
+    def _reference_connected_component_sizes(self) -> List[int]:
+        """Python union-find component sizes (reference)."""
         parent = np.arange(self.num_nodes)
 
         def find(x: int) -> int:
@@ -118,7 +309,7 @@ class SparseDirectedGraph:
             sizes[root] = sizes.get(root, 0) + 1
         return sorted(sizes.values(), reverse=True)
 
-    def wedge_count(self) -> int:
-        """Number of undirected wedges (2-paths)."""
-        nbrs = self.undirected_neighbor_sets()
+    def _reference_wedge_count(self) -> int:
+        """Neighbour-set wedge count (reference)."""
+        nbrs = self._reference_undirected_neighbor_sets()
         return int(sum(len(n) * (len(n) - 1) // 2 for n in nbrs))

@@ -1,0 +1,120 @@
+"""Fused MixBernoulli decode: parity with the reference path and the
+no-autodiff guarantee of the generation fast path."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.core import VRDAG, VRDAGConfig
+from repro.core.generator import MixBernoulliSampler
+
+
+@pytest.fixture
+def sampler():
+    return MixBernoulliSampler(
+        12, num_components=3, rng=np.random.default_rng(3)
+    )
+
+
+@pytest.fixture
+def states(rng):
+    return Tensor(rng.normal(size=(23, 12)))
+
+
+class TestFusedDecodeParity:
+    def test_sample_matches_reference(self, sampler, states):
+        fused = sampler.sample(states, np.random.default_rng(7), block_size=5)
+        ref = sampler._reference_sample(states, np.random.default_rng(7))
+        np.testing.assert_array_equal(fused, ref)
+
+    def test_edge_probabilities_match_reference(self, sampler, states):
+        np.testing.assert_allclose(
+            sampler.edge_probabilities(states, block_size=5),
+            sampler._reference_edge_probabilities(states),
+            atol=1e-10,
+        )
+
+    def test_blocking_is_invisible(self, sampler, states):
+        whole = sampler.sample(states, np.random.default_rng(9), block_size=None)
+        blocked = sampler.sample(states, np.random.default_rng(9), block_size=3)
+        np.testing.assert_array_equal(whole, blocked)
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_component_counts(self, rng, k):
+        sampler = MixBernoulliSampler(
+            8, num_components=k, rng=np.random.default_rng(k)
+        )
+        s = Tensor(rng.normal(size=(11, 8)))
+        fused = sampler.sample(s, np.random.default_rng(1), block_size=4)
+        ref = sampler._reference_sample(s, np.random.default_rng(1))
+        np.testing.assert_array_equal(fused, ref)
+
+    def test_single_node(self, sampler):
+        s = Tensor(np.zeros((1, 12)))
+        adj = sampler.sample(s, np.random.default_rng(0))
+        assert adj.shape == (1, 1) and adj[0, 0] == 0.0
+
+    def test_pooled_alpha_fallback_agrees(self, states):
+        """A non-decomposable α activation falls back to the blocked
+        pairwise pass and still matches the reference."""
+        from repro.nn import MLP
+
+        sampler = MixBernoulliSampler(
+            12, num_components=3, rng=np.random.default_rng(3)
+        )
+        sampler.f_alpha = MLP(
+            [12, 12, 3], activation="tanh", rng=np.random.default_rng(4)
+        )
+        assert sampler._pooled_alpha_features_np(np.zeros((3, 12))) is None
+        np.testing.assert_allclose(
+            sampler.edge_probabilities(states, block_size=6),
+            sampler._reference_edge_probabilities(states),
+            atol=1e-10,
+        )
+
+
+class TestNoGradFastPath:
+    def _spy_on_ops(self, monkeypatch):
+        created = []
+        orig = Tensor._from_op.__func__
+
+        def spy(cls, data, parents, backwards, op):
+            out = orig(cls, data, parents, backwards, op)
+            created.append(out)
+            return out
+
+        monkeypatch.setattr(Tensor, "_from_op", classmethod(spy))
+        return created
+
+    def test_sample_creates_no_autodiff_ops(
+        self, monkeypatch, sampler, states
+    ):
+        created = self._spy_on_ops(monkeypatch)
+        sampler.sample(states, np.random.default_rng(0))
+        assert created == []
+
+    def test_edge_probabilities_create_no_autodiff_ops(
+        self, monkeypatch, sampler, states
+    ):
+        created = self._spy_on_ops(monkeypatch)
+        sampler.edge_probabilities(states)
+        assert created == []
+
+    def test_generate_records_no_tape(self, monkeypatch):
+        """Algorithm 1 rollouts never build an autodiff graph: every
+        Tensor produced during generation is tape-free."""
+        created = self._spy_on_ops(monkeypatch)
+        cfg = VRDAGConfig(
+            num_nodes=10,
+            num_attributes=2,
+            hidden_dim=8,
+            latent_dim=4,
+            encode_dim=8,
+            seed=0,
+        )
+        model = VRDAG(cfg)
+        model.generate(num_timesteps=2, seed=1)
+        assert created, "expected encoder/recurrence ops to run"
+        for t in created:
+            assert not t.requires_grad
+            assert t._parents == ()

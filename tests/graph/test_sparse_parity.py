@@ -1,0 +1,131 @@
+"""Parity: vectorized sparse kernels vs their reference implementations.
+
+Every vectorized kernel in :mod:`repro.graph.sparse` must reproduce its
+``_reference_*`` Python implementation exactly — on random directed
+graphs, on inputs with self-loops and duplicate edges (dropped and
+deduplicated by the constructor), and on empty corner cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.sparse import SparseDirectedGraph
+
+
+def _random_graph(seed: int, n: int, e: int) -> SparseDirectedGraph:
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, max(n, 1), size=(e, 2))
+    return SparseDirectedGraph(n, edges)
+
+
+RANDOM_CASES = [
+    (0, 1, 0),
+    (1, 5, 3),
+    (2, 30, 60),       # sparse
+    (3, 40, 500),      # dense-ish, many duplicates / self-loops
+    (4, 80, 200),
+    (5, 120, 900),
+]
+
+
+class TestVectorizedParity:
+    @pytest.mark.parametrize("seed,n,e", RANDOM_CASES)
+    def test_clustering(self, seed, n, e):
+        g = _random_graph(seed, n, e)
+        np.testing.assert_allclose(
+            g.clustering_coefficients(),
+            g._reference_clustering_coefficients(),
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("seed,n,e", RANDOM_CASES)
+    def test_components(self, seed, n, e):
+        g = _random_graph(seed, n, e)
+        assert (
+            g.connected_component_sizes()
+            == g._reference_connected_component_sizes()
+        )
+
+    @pytest.mark.parametrize("seed,n,e", RANDOM_CASES)
+    def test_wedges(self, seed, n, e):
+        g = _random_graph(seed, n, e)
+        assert g.wedge_count() == g._reference_wedge_count()
+
+    @pytest.mark.parametrize("seed,n,e", RANDOM_CASES)
+    def test_neighbor_sets(self, seed, n, e):
+        g = _random_graph(seed, n, e)
+        assert (
+            g.undirected_neighbor_sets()
+            == g._reference_undirected_neighbor_sets()
+        )
+
+    def test_clustering_searchsorted_branch(self):
+        """Graphs too large for the dense membership matrix still agree."""
+        g = _random_graph(9, 4200, 9000)  # 4200² > 1<<24 → CSR keys path
+        np.testing.assert_allclose(
+            g.clustering_coefficients(),
+            g._reference_clustering_coefficients(),
+            atol=1e-12,
+        )
+
+    def test_self_loops_and_duplicates_dropped(self):
+        edges = np.array([[0, 0], [1, 2], [1, 2], [2, 1], [3, 3], [0, 1]])
+        g = SparseDirectedGraph(4, edges)
+        assert g.num_edges == 3  # (0,1), (1,2), (2,1)
+        np.testing.assert_allclose(
+            g.clustering_coefficients(),
+            g._reference_clustering_coefficients(),
+        )
+        assert (
+            g.connected_component_sizes()
+            == g._reference_connected_component_sizes()
+        )
+
+
+class TestCornerCases:
+    def test_zero_nodes(self):
+        g = SparseDirectedGraph(0, np.zeros((0, 2)))
+        assert g.num_edges == 0
+        assert g.connected_component_sizes() == []
+        assert g.wedge_count() == 0
+        assert g.clustering_coefficients().shape == (0,)
+        assert g.out_degrees().shape == (0,)
+        assert g.in_degrees().shape == (0,)
+
+    def test_nodes_without_edges(self):
+        g = SparseDirectedGraph(5, np.zeros((0, 2)))
+        assert g.connected_component_sizes() == [1, 1, 1, 1, 1]
+        assert g.wedge_count() == 0
+        np.testing.assert_array_equal(g.clustering_coefficients(), np.zeros(5))
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            SparseDirectedGraph(-1, np.zeros((0, 2)))
+
+    def test_all_self_loops_collapse_to_empty(self):
+        g = SparseDirectedGraph(3, np.array([[0, 0], [1, 1], [2, 2]]))
+        assert g.num_edges == 0
+        assert g.connected_component_sizes() == [1, 1, 1]
+
+
+class TestDegreesAndHasEdge:
+    def test_degree_dtypes_consistent(self):
+        g = _random_graph(6, 20, 50)
+        assert g.in_degrees().dtype == np.int64
+        assert g.out_degrees().dtype == np.int64
+        assert g.in_degrees().sum() == g.num_edges
+        assert g.out_degrees().sum() == g.num_edges
+
+    def test_has_edge_matches_dense(self):
+        g = _random_graph(7, 25, 120)
+        dense = g.to_dense()
+        for u in range(25):
+            for v in range(25):
+                assert g.has_edge(u, v) == bool(dense[u, v])
+
+    def test_has_edge_rejects_out_of_range(self):
+        g = _random_graph(8, 4, 5)
+        with pytest.raises(ValueError):
+            g.has_edge(0, 4)
+        with pytest.raises(ValueError):
+            g.has_edge(-1, 0)

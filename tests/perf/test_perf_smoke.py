@@ -1,0 +1,89 @@
+"""Perf smoke: vectorized kernels must not regress behind the
+references (``-m perf`` selects these; they run at tiny scale so tier-1
+stays fast).
+
+These are sanity bounds, not benchmarks — the real trajectory lives in
+``BENCH_perf.json`` (see ``scripts/bench_report.py``).  The bound is
+deliberately loose (vectorized ≤ 3× reference wall-clock) so scheduler
+noise on tiny inputs can't flake the suite; a genuine regression (the
+vectorized path degenerating to per-element work) overshoots it by
+orders of magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.walks import TemporalWalkSampler
+from repro.core.generator import MixBernoulliSampler
+from repro.graph import TemporalEdgeList
+from repro.graph.sparse import SparseDirectedGraph
+from repro.profiling import best_of as _best_of
+
+#: vectorized may be at most this multiple of the reference wall-clock
+SANITY_BOUND = 3.0
+
+
+def _assert_not_slower(fast, ref):
+    fast_s = _best_of(fast)
+    ref_s = _best_of(ref)
+    assert fast_s <= max(ref_s * SANITY_BOUND, 1e-3), (
+        f"vectorized path took {fast_s:.4f}s vs reference {ref_s:.4f}s"
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(0)
+    return SparseDirectedGraph(300, rng.integers(0, 300, size=(1800, 2)))
+
+
+@pytest.mark.perf
+class TestPerfSmoke:
+    def test_clustering(self, graph):
+        _assert_not_slower(
+            graph.clustering_coefficients,
+            graph._reference_clustering_coefficients,
+        )
+
+    def test_components(self, graph):
+        _assert_not_slower(
+            graph.connected_component_sizes,
+            graph._reference_connected_component_sizes,
+        )
+
+    def test_wedges(self, graph):
+        _assert_not_slower(
+            graph.wedge_count, graph._reference_wedge_count
+        )
+
+    def test_decode(self):
+        rng = np.random.default_rng(1)
+        sampler = MixBernoulliSampler(16, num_components=3, rng=rng)
+        s = Tensor(rng.normal(size=(48, 16)))
+        _assert_not_slower(
+            lambda: sampler.sample(s, np.random.default_rng(2)),
+            lambda: sampler._reference_sample(s, np.random.default_rng(2)),
+        )
+
+    def test_walks(self):
+        rng = np.random.default_rng(2)
+        tel = TemporalEdgeList(40, 8)
+        for u, v, t in zip(
+            rng.integers(0, 40, size=400),
+            rng.integers(0, 40, size=400),
+            rng.integers(0, 8, size=400),
+        ):
+            if u != v:
+                tel.add(int(u), int(v), int(t))
+        sampler = TemporalWalkSampler(tel, time_window=2, seed=0)
+
+        def scalar():
+            out = []
+            for _ in range(100):
+                w = sampler.sample_walk(8)
+                if w and len(w) >= 2:
+                    out.append(w)
+            return out
+
+        _assert_not_slower(lambda: sampler.sample_walks(100, 8), scalar)
