@@ -65,7 +65,7 @@ class TagGen(GraphGenerator):
         self._num_nodes = graph.num_nodes
         self._num_timesteps = graph.num_timesteps
         self._num_attrs = graph.num_attributes
-        self._edges_per_step = [s.num_edges for s in graph]
+        self._edges_per_step = graph.store.edges_per_step().tolist()
         stream = TemporalEdgeList.from_dynamic_graph(graph)
         self._sampler = TemporalWalkSampler(
             stream, time_window=self.time_window, seed=self.seed
@@ -152,16 +152,16 @@ class TagGen(GraphGenerator):
 def _with_zero_attrs(
     graph: DynamicAttributedGraph, num_attrs: int
 ) -> DynamicAttributedGraph:
-    """Attach zero attribute matrices (structure-only baselines)."""
+    """Attach zero attribute matrices (structure-only baselines).
+
+    Store-backed graphs keep their edge columns zero-copy; only the
+    O(N·F·T) zero attribute block is allocated.
+    """
     if num_attrs == 0:
         return graph
     import numpy as np
-    from repro.graph import GraphSnapshot
 
-    snaps = [
-        GraphSnapshot(
-            s.adjacency, np.zeros((s.num_nodes, num_attrs)), validate=False
-        )
-        for s in graph
-    ]
-    return DynamicAttributedGraph(snaps)
+    zeros = np.zeros((graph.num_timesteps, graph.num_nodes, num_attrs))
+    return DynamicAttributedGraph.from_store(
+        graph.store.with_attributes(zeros)
+    )

@@ -97,7 +97,7 @@ class TIGGER(GraphGenerator):
         self._num_nodes = graph.num_nodes
         self._num_timesteps = graph.num_timesteps
         self._num_attrs = graph.num_attributes
-        self._edges_per_step = [s.num_edges for s in graph]
+        self._edges_per_step = graph.store.edges_per_step().tolist()
         stream = TemporalEdgeList.from_dynamic_graph(graph)
         sampler = TemporalWalkSampler(
             stream, time_window=self.time_window, seed=self.seed

@@ -8,6 +8,11 @@ edge stream by accumulating the transitions of many sampled walks and
 keeping the most frequent edges per timestep until the target density
 is met — the expensive assembly step the paper's efficiency evaluation
 highlights.
+
+The sampler consumes the :class:`TemporalEdgeList` columns zero-copy
+(``edges.arrays()``), and merging emits edge lists straight into a
+:class:`~repro.graph.store.TemporalEdgeStoreBuilder` — no dense
+``(N, N)`` matrices anywhere on the walk-baseline fit/generate path.
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.graph import DynamicAttributedGraph
+from repro.graph.store import TemporalEdgeStoreBuilder
 from repro.graph.temporal import TemporalEdgeList
 
 Walk = List[Tuple[int, int]]  # [(node, time), ...]
@@ -32,7 +38,7 @@ class TemporalWalkSampler:
     ``|t' - t| <= w`` is a contiguous slice of each node's time-sorted
     row) plus one vectorized uniform pick — no per-candidate Python
     work.  :meth:`sample_walk` keeps the original scalar sampler as the
-    parity reference.
+    parity reference (its adjacency dict is built lazily on first use).
     """
 
     def __init__(
@@ -44,20 +50,19 @@ class TemporalWalkSampler:
         self.edges = edges
         self.time_window = time_window
         self.rng = np.random.default_rng(seed)
-        # adjacency indexed by (node) -> [(nbr, t)] over symmetrized stream:
-        # TagGen walks traverse edges in either direction
-        self._adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
-        for u, v, t in edges:
-            self._adj[u].append((v, t))
-            self._adj[v].append((u, t))
-        self._starts: List[Tuple[int, int]] = [(u, t) for u, v, t in edges]
-        # flat (node, time)-sorted arrays for the batched sampler
-        edge_list = list(edges)
-        if edge_list:
-            arr = np.asarray(edge_list, dtype=np.int64)  # (E, 3) u, v, t
-            src = np.concatenate([arr[:, 0], arr[:, 1]])
-            dst = np.concatenate([arr[:, 1], arr[:, 0]])
-            tim = np.concatenate([arr[:, 2], arr[:, 2]])
+        # scalar-reference structures, built lazily (see _scalar_index)
+        self._adj: Optional[Dict[int, List[Tuple[int, int]]]] = None
+        self._starts: Optional[List[Tuple[int, int]]] = None
+        # flat (node, time)-sorted arrays for the batched sampler,
+        # built zero-copy from the stream's columns; the snapshot is
+        # frozen here so both samplers see the same edge set even if
+        # the list is mutated later
+        e_src, e_dst, e_t = edges.arrays()
+        self._columns = (e_src, e_dst, e_t)
+        if e_src.size:
+            src = np.concatenate([e_src, e_dst])
+            dst = np.concatenate([e_dst, e_src])
+            tim = np.concatenate([e_t, e_t])
             order = np.lexsort((tim, src))
             self._flat_dst = dst[order]
             self._flat_t = tim[order]
@@ -66,8 +71,8 @@ class TemporalWalkSampler:
             # composite (node, time) sort key: per-node slices stay
             # time-sorted, so one searchsorted bounds a time window
             self._flat_key = src[order] * self._t_span + tim[order] - self._t_min
-            self._start_u = arr[:, 0]
-            self._start_t = arr[:, 2]
+            self._start_u = e_src
+            self._start_t = e_t
         else:
             self._flat_dst = np.zeros(0, dtype=np.int64)
             self._flat_t = np.zeros(0, dtype=np.int64)
@@ -77,16 +82,38 @@ class TemporalWalkSampler:
             self._start_u = np.zeros(0, dtype=np.int64)
             self._start_t = np.zeros(0, dtype=np.int64)
 
+    def _scalar_index(self) -> Tuple[Dict[int, List[Tuple[int, int]]], List[Tuple[int, int]]]:
+        """Per-edge Python structures for the reference scalar sampler.
+
+        Built from the columns frozen at construction time (not the
+        live edge list), so the scalar and batched paths stay
+        consistent by construction.
+        """
+        if self._adj is None:
+            adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+            starts: List[Tuple[int, int]] = []
+            e_src, e_dst, e_t = self._columns
+            for u, v, t in zip(
+                e_src.tolist(), e_dst.tolist(), e_t.tolist()
+            ):
+                adj[u].append((v, t))
+                adj[v].append((u, t))
+                starts.append((u, t))
+            self._adj = adj
+            self._starts = starts
+        return self._adj, self._starts
+
     def sample_walk(self, length: int) -> Optional[Walk]:
         """One temporal walk of at most ``length`` (node, time) steps."""
-        if not self._starts:
+        adj, starts = self._scalar_index()
+        if not starts:
             return None
-        u, t = self._starts[self.rng.integers(len(self._starts))]
+        u, t = starts[self.rng.integers(len(starts))]
         walk: Walk = [(u, t)]
         for _ in range(length - 1):
             candidates = [
                 (v, tv)
-                for v, tv in self._adj.get(u, [])
+                for v, tv in adj.get(u, [])
                 if abs(tv - t) <= self.time_window
             ]
             if not candidates:
@@ -182,6 +209,8 @@ def merge_walks_into_graph(
     Keeps, per timestep, the highest-multiplicity transitions until the
     target edge count ``edges_per_step[t]`` is reached; pads with
     frequency-weighted random edges when walks under-cover a step.
+    Edges stream into a store builder — the output graph is
+    store-backed and no dense matrix is materialized.
     """
     counts = walk_transition_counts(walks, num_nodes, num_timesteps)
     per_step: Dict[int, List[Tuple[int, Tuple[int, int]]]] = defaultdict(list)
@@ -194,33 +223,36 @@ def merge_walks_into_graph(
             node_freq[u] += 1
     node_probs = node_freq / node_freq.sum()
 
-    snaps = []
+    builder = TemporalEdgeStoreBuilder(num_nodes, 0)
     for t in range(num_timesteps):
-        adj = np.zeros((num_nodes, num_nodes))
+        placed_pairs: set = set()
         target = int(edges_per_step[min(t, len(edges_per_step) - 1)])
         ranked = sorted(per_step.get(t, []), reverse=True)
-        placed = 0
         for _, (u, v) in ranked:
-            if placed >= target:
+            if len(placed_pairs) >= target:
                 break
-            if adj[u, v] == 0:
-                adj[u, v] = 1.0
-                placed += 1
+            placed_pairs.add((u, v))
         # pad with walk-frequency-weighted random edges, drawn in
         # batches (per-pair rng.choice calls re-scan the probability
         # vector every time; one batched draw amortizes that)
         attempts = 0
         max_attempts = target * 20
-        while placed < target and attempts < max_attempts:
+        while len(placed_pairs) < target and attempts < max_attempts:
+            placed = len(placed_pairs)
             batch = min(max(2 * (target - placed), 8), max_attempts - attempts)
             pairs = rng.choice(num_nodes, size=(batch, 2), p=node_probs)
             attempts += batch
             for u, v in pairs:
-                if placed >= target:
+                if len(placed_pairs) >= target:
                     break
-                if u != v and adj[u, v] == 0:
-                    adj[u, v] = 1.0
-                    placed += 1
-        np.fill_diagonal(adj, 0.0)
-        snaps.append(GraphSnapshot(adj, None, validate=False))
-    return DynamicAttributedGraph(snaps)
+                if u != v:
+                    placed_pairs.add((int(u), int(v)))
+        if placed_pairs:
+            # sorted unique loop-free pairs are already canonical
+            arr = np.asarray(sorted(placed_pairs), dtype=np.int64)
+            builder.add_step(arr[:, 0], arr[:, 1], canonical=True)
+        else:
+            builder.add_step(
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+            )
+    return DynamicAttributedGraph.from_store(builder.build())

@@ -341,18 +341,21 @@ class MixBernoulliSampler(Module):
         np.fill_diagonal(probs, 0.0)
         return probs
 
-    def sample(
+    def sample_edges(
         self,
         s: Tensor,
         rng: np.random.Generator,
         block_size: Optional[int] = None,
-    ) -> np.ndarray:
-        """Draw an adjacency matrix: per row pick a component, then edges.
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one adjacency sample as ``(src, dst)`` edge columns.
 
         Fused decode: one blocked pass pools the α features, the row
         components are drawn, then a second blocked pass evaluates θ and
         samples edges — only the chosen component's probabilities are
-        ever used, and no autodiff nodes are created.  RNG consumption
+        ever used, and no autodiff nodes are created.  Edges stream out
+        as int columns in CSR order, ready for a
+        :class:`~repro.graph.store.TemporalEdgeStoreBuilder`; only the
+        per-block ``(B, N)`` working set is dense.  RNG consumption
         (one ``(N, 1)`` draw, one ``(N, N)`` draw) matches
         :meth:`_reference_sample` exactly; θ agrees with the reference
         to within a few ulp (reassociated first layer), so both paths
@@ -371,7 +374,8 @@ class MixBernoulliSampler(Module):
         components = (u > cdf).sum(axis=1).clip(0, self.num_components - 1)
         edge_u = rng.random((n, n))
         proj = _first_layer_projection(self.f_theta, s_np)
-        adj = np.zeros((n, n))
+        srcs = []
+        dsts = []
         for lo in range(0, n, block):
             hi = min(lo + block, n)
             theta = _np_sigmoid(
@@ -380,8 +384,30 @@ class MixBernoulliSampler(Module):
             row_theta = np.take_along_axis(
                 theta, components[lo:hi, None, None], axis=2
             )[:, :, 0]
-            adj[lo:hi] = (edge_u[lo:hi] < row_theta).astype(np.float64)
-        np.fill_diagonal(adj, 0.0)
+            hit = edge_u[lo:hi] < row_theta
+            # no self-loops: mask the diagonal entries of this row block
+            diag = np.arange(lo, hi)
+            hit[diag - lo, diag] = False
+            rows, cols = np.nonzero(hit)
+            srcs.append(rows.astype(np.int64) + lo)
+            dsts.append(cols.astype(np.int64))
+        return (
+            np.concatenate(srcs) if srcs else np.zeros(0, np.int64),
+            np.concatenate(dsts) if dsts else np.zeros(0, np.int64),
+        )
+
+    def sample(
+        self,
+        s: Tensor,
+        rng: np.random.Generator,
+        block_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw an adjacency matrix (dense wrapper over :meth:`sample_edges`)."""
+        n = (s.data if isinstance(s, Tensor) else np.asarray(s)).shape[0]
+        src, dst = self.sample_edges(s, rng, block_size)
+        adj = np.zeros((n, n))
+        if src.size:
+            adj[src, dst] = 1.0
         return adj
 
     # ------------------------------------------------------------------

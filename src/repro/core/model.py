@@ -4,7 +4,7 @@ Algorithm 1 inference."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from repro.core.latent import PosteriorNetwork, PriorNetwork
 from repro.core.recurrence import RecurrenceUpdater
 from repro.core import losses
 from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.graph.store import TemporalEdgeStoreBuilder
 from repro.nn import Module
 
 
@@ -388,12 +389,19 @@ class VRDAG(Module):
         Implements Algorithm 1: recurrently sample latents from the
         learned prior, decode structure then attributes, and update the
         hidden state from the *generated* snapshot.
+
+        Structure is decoded straight into a columnar store builder:
+        the only dense ``(N, N)`` buffer is the single per-step scratch
+        matrix the encoder/GAT consume (reused across steps), so peak
+        structural memory is O(M + N²) transient — never an O(N²·T)
+        snapshot stack — and the returned graph is store-backed.
         """
         if num_timesteps < 1:
             raise ValueError("num_timesteps must be >= 1")
         cfg = self.config
         rng = np.random.default_rng(seed if seed is not None else cfg.seed + 12345)
-        snapshots: List[GraphSnapshot] = []
+        builder = TemporalEdgeStoreBuilder(cfg.num_nodes, cfg.num_attributes)
+        adj_scratch = np.zeros((cfg.num_nodes, cfg.num_nodes))
         # AR(1)-correlated noise states are kept *whitened* (unit
         # marginal, shape (N, F)); each step applies the step's own
         # Cholesky factor, so the per-timestep marginal covariance is
@@ -412,7 +420,11 @@ class VRDAG(Module):
                 z_eps = z_state.step(p.mu.shape, rng)
                 z = Tensor(p.mu.data + p.sigma.data * z_eps)
                 s = F.concat([z, h], axis=1)
-                adj = self.structure_sampler.sample(s, rng)             # line 4
+                src, dst = self.structure_sampler.sample_edges(s, rng)  # line 4
+                adj_scratch[:] = 0.0
+                if src.size:
+                    adj_scratch[src, dst] = 1.0
+                adj = adj_scratch
                 if self.attribute_decoder is not None:                  # line 5
                     attrs = self.attribute_decoder(s, adj).data.copy()
                     if self._attr_noise_chol.any():
@@ -439,11 +451,10 @@ class VRDAG(Module):
                         + extra_state.step(out_attrs.shape, rng)
                         @ self._attr_extra_chol[s_row].T
                     )
-                snapshots.append(                                       # line 8
-                    GraphSnapshot(adj, out_attrs, validate=False)
-                )
+                # sample_edges emits CSR order, loop-free, deduplicated
+                builder.add_step(src, dst, out_attrs, canonical=True)   # line 8
         self.train()
-        return DynamicAttributedGraph(snapshots)
+        return DynamicAttributedGraph.from_store(builder.build())
 
     # ------------------------------------------------------------------
     def expected_adjacency(self, num_timesteps: int, seed: Optional[int] = None

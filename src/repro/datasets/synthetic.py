@@ -215,7 +215,8 @@ def generate_co_evolving_graph(
                 + cfg.attribute_coupling * (nbr_mean - attrs)
                 + rng.normal(0.0, cfg.attribute_noise, size=attrs.shape)
             )
-        snapshots.append(GraphSnapshot(new_adj, _emit(attrs, cfg)))
+        # adjacency is 0/1 with a cleared diagonal by construction
+        snapshots.append(GraphSnapshot(new_adj, _emit(attrs, cfg), validate=False))
         adj = new_adj
     return DynamicAttributedGraph(snapshots)
 

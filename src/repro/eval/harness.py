@@ -19,6 +19,7 @@ from repro.baselines import (
 from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
 from repro.core.schedule import LinearWarmup
 from repro.graph import DynamicAttributedGraph
+from repro.graph.store import track_dense_materializations
 from repro.profiling import profiler
 
 
@@ -105,12 +106,24 @@ class GeneratorSpec:
 
 @dataclass
 class TimedRun:
-    """Wall-clock results of one fit+generate cycle."""
+    """Wall-clock results of one fit+generate cycle.
+
+    ``dense_materializations`` counts how many store timesteps were
+    densified to ``(N, N)`` matrices across fit + generate.  The walk
+    baselines and every generate path keep it at 0; dense-core
+    trainers (VRDAG's teacher-forced ELBO is O(N²) by construction)
+    materialize at most T cached views of a *store-backed* training
+    input — bounded by the input size, never per-epoch, and 0 on
+    legacy dense inputs.  The underlying counter is process-global
+    (see :func:`track_dense_materializations`), so densifications by
+    concurrent threads during the run window would be attributed here.
+    """
 
     name: str
     fit_seconds: float
     generate_seconds: float
     generated: DynamicAttributedGraph
+    dense_materializations: int = 0
 
 
 def make_vrdag(epochs: int = 15, seed: int = 0, **kwargs) -> VRDAGGenerator:
@@ -140,16 +153,31 @@ def timed_fit_generate(
     num_timesteps: Optional[int] = None,
     seed: int = 0,
 ) -> TimedRun:
-    """Fit then generate, recording wall-clock for each stage."""
+    """Fit then generate, recording wall-clock for each stage.
+
+    The input graph's columnar store is passed end-to-end: generators
+    read it through the stream/CSR views and the migrated ones return
+    store-backed graphs, so no dense round-trip sits between fit,
+    generate and the metric scoring that follows (dense-core trainers
+    may densify up to T cached views of a store-backed input — see
+    :class:`TimedRun`).  Store→dense materializations across the run
+    are counted on the result.
+    """
     steps = num_timesteps or graph.num_timesteps
-    t0 = time.perf_counter()
-    with profiler.timer(f"harness.fit.{name}"):
-        generator.fit(graph)
-    fit_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    with profiler.timer(f"harness.generate.{name}"):
-        generated = generator.generate(steps, seed=seed)
-    gen_s = time.perf_counter() - t0
+    with track_dense_materializations() as materialized:
+        t0 = time.perf_counter()
+        with profiler.timer(f"harness.fit.{name}"):
+            generator.fit(graph)
+        fit_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with profiler.timer(f"harness.generate.{name}"):
+            generated = generator.generate(steps, seed=seed)
+        gen_s = time.perf_counter() - t0
+    profiler.count(f"harness.dense_materializations.{name}", materialized())
     return TimedRun(
-        name=name, fit_seconds=fit_s, generate_seconds=gen_s, generated=generated
+        name=name,
+        fit_seconds=fit_s,
+        generate_seconds=gen_s,
+        generated=generated,
+        dense_materializations=materialized(),
     )

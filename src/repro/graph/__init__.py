@@ -1,36 +1,53 @@
 """Dynamic attributed graph data model (paper §II-A).
 
 A dynamic attributed graph is a sequence of snapshots
-``G_t(A_t, X_t)`` over a fixed node universe ``V`` of size ``N``:
+``G_t(A_t, X_t)`` over a fixed node universe ``V`` of size ``N``.
+Canonically it is stored *columnar*:
 
-* :class:`GraphSnapshot` — one timestep: dense directed adjacency
-  ``A ∈ {0,1}^{N×N}`` plus attribute matrix ``X ∈ R^{N×F}``.
+* :class:`TemporalEdgeStore` — the canonical representation: shared
+  ``(src, dst, t)`` int columns sorted by ``(t, src, dst)``,
+  per-timestep offsets, one ``(T, N, F)`` attribute block.  O(M + N·F·T)
+  memory instead of O(N²·T).
+* :class:`GraphSnapshot` — one timestep; either a cheap store-backed
+  view or a legacy dense matrix.  ``adjacency`` on a store-backed
+  snapshot is a lazily-materialized, cached, read-only dense view.
 * :class:`DynamicAttributedGraph` — the sequence, with statistics and
-  validation.
-* :class:`TemporalEdgeList` — the ``(u, v, t)`` stream view used by the
-  random-walk baselines, with lossless conversion in both directions.
+  validation; derives/carries its store.
+* :class:`TemporalEdgeList` — the ``(u, v, t)`` stream (multiset) view
+  used by the random-walk baselines, with lossless conversion in both
+  directions.
 * :mod:`repro.graph.properties` — structural analytics (degrees,
-  clustering, coreness, wedges, components, power-law exponents).
+  clustering, coreness, wedges, components, power-law exponents), all
+  running on the CSR view.
 * :mod:`repro.graph.streams` — continuous-time interaction streams and
   snapshot discretization policies.
-* :mod:`repro.graph.io` — portable ``.npz`` persistence.
+* :mod:`repro.graph.io` — portable ``.npz`` persistence (columnar).
 * :mod:`repro.graph.formats` — CSV interop (edge streams, event
   streams, attribute tables) for dataset exchange.
 """
 
 from repro.graph.snapshot import GraphSnapshot
+from repro.graph.store import (
+    TemporalEdgeStore,
+    TemporalEdgeStoreBuilder,
+    track_dense_materializations,
+)
 from repro.graph.dynamic import DynamicAttributedGraph
 from repro.graph.temporal import TemporalEdgeList
 from repro.graph.streams import InteractionStream
-from repro.graph import properties, io, streams, formats
+from repro.graph import properties, io, store, streams, formats
 
 __all__ = [
     "GraphSnapshot",
     "DynamicAttributedGraph",
+    "TemporalEdgeStore",
+    "TemporalEdgeStoreBuilder",
     "TemporalEdgeList",
     "InteractionStream",
+    "track_dense_materializations",
     "properties",
     "io",
+    "store",
     "streams",
     "formats",
 ]

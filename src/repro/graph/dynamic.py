@@ -1,9 +1,17 @@
-"""Dynamic attributed graph: a sequence of snapshots over fixed nodes."""
+"""Dynamic attributed graph: a sequence of snapshots over fixed nodes.
+
+Canonically the graph is a :class:`~repro.graph.store.TemporalEdgeStore`
+(columnar ``(src, dst, t)`` + one attribute block); snapshots are cheap
+per-timestep views of it.  Graphs built the legacy way — from a list of
+dense snapshots — derive their store lazily on first ``.store`` access,
+so dense constructions pay the columnar conversion only when a sparse
+consumer actually asks for it.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +40,10 @@ class DynamicAttributedGraph:
     All snapshots share the node universe ``V`` (|V| = N) and the
     attribute dimensionality ``F``; structural evolution is the change
     of edges, attribute evolution the change of ``X_t``.
+
+    Construct from snapshots (legacy, dense) or from a columnar store
+    via :meth:`from_store` (the representation every migrated producer
+    emits).
     """
 
     def __init__(self, snapshots: Sequence[GraphSnapshot]):
@@ -50,6 +62,40 @@ class DynamicAttributedGraph:
                     f"snapshot {i} has {s.num_attributes} attributes, expected {f}"
                 )
         self.snapshots: List[GraphSnapshot] = snapshots
+        self._store = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(cls, store) -> "DynamicAttributedGraph":
+        """Wrap a :class:`TemporalEdgeStore` (snapshots are lazy views)."""
+        graph = cls.__new__(cls)
+        graph.snapshots = [
+            store.snapshot(t) for t in range(store.num_timesteps)
+        ]
+        graph._store = store
+        return graph
+
+    @property
+    def store(self):
+        """The canonical columnar edge store (built lazily, cached).
+
+        For legacy dense-backed graphs the first access scans the
+        snapshots once and *freezes* the structural view: in-place
+        edits of snapshot adjacencies after this point are not
+        reflected in the cached store (treat graphs as immutable once
+        they enter store-consuming code, or mutate before first
+        access).
+        """
+        if self._store is None:
+            from repro.graph.store import TemporalEdgeStore
+
+            self._store = TemporalEdgeStore.from_snapshots(self.snapshots)
+        return self._store
+
+    @property
+    def is_store_backed(self) -> bool:
+        """Whether the columnar store has been attached/derived already."""
+        return self._store is not None
 
     # ------------------------------------------------------------------
     @property
@@ -70,6 +116,8 @@ class DynamicAttributedGraph:
     @property
     def num_temporal_edges(self) -> int:
         """Total edges summed across snapshots (the paper's ``M``)."""
+        if self._store is not None:
+            return self._store.num_edges
         return sum(s.num_edges for s in self.snapshots)
 
     def statistics(self) -> GraphStatistics:
@@ -96,6 +144,8 @@ class DynamicAttributedGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DynamicAttributedGraph):
             return NotImplemented
+        if self._store is not None and other._store is not None:
+            return self._store == other._store
         return len(self) == len(other) and all(
             a == b for a, b in zip(self.snapshots, other.snapshots)
         )
@@ -105,11 +155,24 @@ class DynamicAttributedGraph:
 
     # ------------------------------------------------------------------
     def adjacency_tensor(self) -> np.ndarray:
-        """Stack of adjacency matrices, shape ``(T, N, N)``."""
+        """Stack of adjacency matrices, shape ``(T, N, N)``.
+
+        Explicitly O(N²·T) — a legacy export, not an internal format.
+        """
         return np.stack([s.adjacency for s in self.snapshots])
 
     def attribute_tensor(self) -> np.ndarray:
-        """Stack of attribute matrices, shape ``(T, N, F)``."""
+        """Stack of attribute matrices, shape ``(T, N, F)``.
+
+        Zero-copy for store-backed graphs: a read-only view of the
+        store's own block (``.copy()`` it to mutate — pre-store callers
+        got a fresh stack, so an in-place edit would now silently
+        rewrite the canonical store and every sibling view).
+        """
+        if self._store is not None:
+            view = self._store.attributes.view()
+            view.flags.writeable = False
+            return view
         return np.stack([s.attributes for s in self.snapshots])
 
     def active_nodes(self, t: int) -> np.ndarray:
@@ -119,13 +182,25 @@ class DynamicAttributedGraph:
         return np.nonzero(deg > 0)[0]
 
     def copy(self) -> "DynamicAttributedGraph":
-        """Deep copy of every snapshot."""
+        """Deep copy; preserves the backing representation.
+
+        Store-backed graphs copy the O(M + N·F·T) columns (no
+        densification); legacy graphs deep-copy their dense snapshots.
+        Either way the copy shares no memory with the original — for a
+        mutable dense snapshot, use ``graph[t].copy()``.
+        """
+        if self._store is not None:
+            return DynamicAttributedGraph.from_store(self._store.copy())
         return DynamicAttributedGraph([s.copy() for s in self.snapshots])
 
     def truncated(self, t: int) -> "DynamicAttributedGraph":
         """Prefix of the sequence up to (excluding) timestep ``t``."""
         if not 1 <= t <= len(self):
             raise IndexError(f"truncation point {t} out of range 1..{len(self)}")
+        if self._store is not None:
+            return DynamicAttributedGraph.from_store(
+                self._store.slice_timesteps(0, t)
+            )
         return DynamicAttributedGraph(self.snapshots[:t])
 
     @classmethod

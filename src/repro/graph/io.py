@@ -1,4 +1,10 @@
-"""Persistence for dynamic attributed graphs (compressed ``.npz``)."""
+"""Persistence for dynamic attributed graphs (compressed ``.npz``).
+
+Format version 2 serializes the canonical columnar store — edge
+columns ``(src, dst, t)`` plus the ``(T, N, F)`` attribute block — so
+files are O(M + N·F·T) instead of the version-1 dense O(N²·T)
+adjacency stack.  Version-1 archives are still readable.
+"""
 
 from __future__ import annotations
 
@@ -8,26 +14,42 @@ from typing import Union
 import numpy as np
 
 from repro.graph.dynamic import DynamicAttributedGraph
+from repro.graph.store import TemporalEdgeStore
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def save(graph: DynamicAttributedGraph, path: Union[str, os.PathLike]) -> None:
-    """Write ``graph`` to ``path`` as a compressed npz archive."""
+    """Write ``graph`` to ``path`` as a compressed columnar npz archive."""
+    store = graph.store
     np.savez_compressed(
         path,
         version=np.array(_FORMAT_VERSION),
-        adjacency=graph.adjacency_tensor().astype(np.int8),
-        attributes=graph.attribute_tensor(),
+        num_nodes=np.array(store.num_nodes),
+        num_timesteps=np.array(store.num_timesteps),
+        src=store.src,
+        dst=store.dst,
+        t=store.t,
+        attributes=store.attributes,
     )
 
 
 def load(path: Union[str, os.PathLike]) -> DynamicAttributedGraph:
-    """Read a graph previously written by :func:`save`."""
+    """Read a graph previously written by :func:`save` (v1 or v2)."""
     with np.load(path) as data:
         version = int(data["version"])
+        if version == 1:
+            adjacency = data["adjacency"].astype(np.float64)
+            attributes = data["attributes"]
+            return DynamicAttributedGraph.from_tensors(adjacency, attributes)
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported graph file version {version}")
-        adjacency = data["adjacency"].astype(np.float64)
-        attributes = data["attributes"]
-    return DynamicAttributedGraph.from_tensors(adjacency, attributes)
+        store = TemporalEdgeStore(
+            int(data["num_nodes"]),
+            int(data["num_timesteps"]),
+            data["src"],
+            data["dst"],
+            data["t"],
+            data["attributes"],
+        )
+    return DynamicAttributedGraph.from_store(store)

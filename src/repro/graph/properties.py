@@ -1,15 +1,21 @@
 """Structural graph analytics used throughout the evaluation (§IV-A2).
 
-All functions operate on :class:`~repro.graph.snapshot.GraphSnapshot`
-or raw dense adjacency matrices.  Where the paper's metric is defined on
-undirected structure (clustering, coreness, components, wedges) the
-directed adjacency is symmetrized first, matching standard practice in
-the cited metric suites.
+All functions operate on :class:`~repro.graph.snapshot.GraphSnapshot`.
+Where the paper's metric is defined on undirected structure
+(clustering, coreness, components, wedges) the directed adjacency is
+symmetrized first, matching standard practice in the cited metric
+suites.
+
+Every metric reads the snapshot's cached CSR view
+(:meth:`GraphSnapshot.sparse`) — store-backed snapshots are never
+densified.  The original dense implementations are kept as
+``_reference_*`` functions and pinned to the CSR kernels by the parity
+tests in ``tests/graph/test_properties_parity.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
@@ -43,14 +49,7 @@ def degree_histogram(degrees: np.ndarray, max_degree: int | None = None) -> np.n
 # ----------------------------------------------------------------------
 def clustering_coefficients(snapshot: GraphSnapshot) -> np.ndarray:
     """Local clustering coefficient per node on symmetrized structure."""
-    sym = snapshot.undirected_adjacency()
-    deg = sym.sum(axis=1)
-    # triangles through node i: (A^3)_{ii} / 2 on simple undirected graphs
-    tri = np.diag(sym @ sym @ sym) / 2.0
-    possible = deg * (deg - 1) / 2.0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        cc = np.where(possible > 0, tri / possible, 0.0)
-    return cc
+    return snapshot.sparse().clustering_coefficients()
 
 
 def average_clustering(snapshot: GraphSnapshot) -> float:
@@ -63,15 +62,12 @@ def average_clustering(snapshot: GraphSnapshot) -> float:
 # ----------------------------------------------------------------------
 def wedge_count(snapshot: GraphSnapshot) -> int:
     """Number of wedges (paths of length 2) in the symmetrized graph."""
-    sym = snapshot.undirected_adjacency()
-    deg = sym.sum(axis=1)
-    return int((deg * (deg - 1) / 2.0).sum())
+    return snapshot.sparse().wedge_count()
 
 
 def triangle_count(snapshot: GraphSnapshot) -> int:
     """Number of undirected triangles."""
-    sym = snapshot.undirected_adjacency()
-    return int(np.round(np.trace(sym @ sym @ sym) / 6.0))
+    return snapshot.sparse().triangle_count()
 
 
 # ----------------------------------------------------------------------
@@ -83,42 +79,34 @@ def connected_components(snapshot: GraphSnapshot) -> List[np.ndarray]:
     Isolated nodes each form their own singleton component; the paper's
     NC metric counts non-singleton components only when comparing
     generators (isolated nodes dominate otherwise), so we expose both
-    via :func:`component_count` flags.
+    via :func:`component_count` flags.  Components are ordered by their
+    smallest member, each sorted ascending.
     """
-    sym = snapshot.undirected_adjacency()
-    n = snapshot.num_nodes
-    seen = np.zeros(n, dtype=bool)
-    comps: List[np.ndarray] = []
-    neighbors = [np.nonzero(sym[i])[0] for i in range(n)]
-    for start in range(n):
-        if seen[start]:
-            continue
-        stack = [start]
-        seen[start] = True
-        comp = []
-        while stack:
-            node = stack.pop()
-            comp.append(node)
-            for nb in neighbors[node]:
-                if not seen[nb]:
-                    seen[nb] = True
-                    stack.append(int(nb))
-        comps.append(np.array(sorted(comp)))
-    return comps
+    labels = snapshot.sparse().connected_component_labels()
+    if labels.size == 0:
+        return []
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    boundaries = np.nonzero(np.diff(sorted_labels))[0] + 1
+    return [np.sort(chunk) for chunk in np.split(order, boundaries)]
 
 
 def component_count(snapshot: GraphSnapshot, include_singletons: bool = False) -> int:
     """Number of weakly connected components (singletons optional)."""
-    comps = connected_components(snapshot)
+    labels = snapshot.sparse().connected_component_labels()
+    sizes = np.bincount(labels)
+    sizes = sizes[sizes > 0]
     if include_singletons:
-        return len(comps)
-    return sum(1 for c in comps if len(c) > 1)
+        return int(sizes.size)
+    return int((sizes > 1).sum())
 
 
 def largest_component_size(snapshot: GraphSnapshot) -> int:
     """Node count of the largest weakly connected component."""
-    comps = connected_components(snapshot)
-    return max(len(c) for c in comps) if comps else 0
+    labels = snapshot.sparse().connected_component_labels()
+    if labels.size == 0:
+        return 0
+    return int(np.bincount(labels).max())
 
 
 # ----------------------------------------------------------------------
@@ -126,9 +114,9 @@ def largest_component_size(snapshot: GraphSnapshot) -> int:
 # ----------------------------------------------------------------------
 def coreness(snapshot: GraphSnapshot) -> np.ndarray:
     """k-core number per node (symmetrized), via iterative peeling."""
-    sym = snapshot.undirected_adjacency()
+    indptr, indices = snapshot.sparse().symmetric_csr()
     n = snapshot.num_nodes
-    deg = sym.sum(axis=1).astype(int)
+    deg = np.diff(indptr).astype(int)
     core = np.zeros(n, dtype=int)
     alive = np.ones(n, dtype=bool)
     current_deg = deg.copy()
@@ -140,14 +128,13 @@ def coreness(snapshot: GraphSnapshot) -> np.ndarray:
         if peel.size == 0:
             k += 1
             continue
+        core[peel] = k
+        alive[peel] = False
+        remaining -= peel.size
         for node in peel:
-            core[node] = k
-            alive[node] = False
-            remaining -= 1
-            nbs = np.nonzero(sym[node])[0]
-            for nb in nbs:
-                if alive[nb]:
-                    current_deg[nb] -= 1
+            nbs = indices[indptr[node]:indptr[node + 1]]
+            touched = nbs[alive[nbs]]
+            np.subtract.at(current_deg, touched, 1)
     return core
 
 
@@ -160,11 +147,17 @@ def reciprocity(snapshot: GraphSnapshot) -> float:
     Zero for a pure DAG-like network (e.g. guarantee relations), high
     for mutual-interaction networks (e.g. trust graphs).
     """
-    adj = snapshot.adjacency
-    m = adj.sum()
+    sp = snapshot.sparse()
+    m = sp.num_edges
     if m == 0:
         return 0.0
-    return float((adj * adj.T).sum() / m)
+    edges = sp.edge_array()
+    n = snapshot.num_nodes
+    keys = edges[:, 0] * n + edges[:, 1]  # sorted (CSR order)
+    rev = edges[:, 1] * n + edges[:, 0]
+    pos = np.minimum(np.searchsorted(keys, rev), m - 1)
+    mutual = int((keys[pos] == rev).sum())
+    return float(mutual / m)
 
 
 def degree_assortativity(snapshot: GraphSnapshot) -> float:
@@ -173,11 +166,15 @@ def degree_assortativity(snapshot: GraphSnapshot) -> float:
     Positive: hubs connect to hubs; negative: hub-and-spoke structure
     (the common social/web regime).  Returns 0 for degenerate inputs.
     """
-    sym = snapshot.undirected_adjacency()
-    rows, cols = np.nonzero(np.triu(sym, k=1))
+    indptr, indices = snapshot.sparse().symmetric_csr()
+    deg = np.diff(indptr).astype(np.float64)
+    edge_src = np.repeat(
+        np.arange(snapshot.num_nodes, dtype=np.int64), np.diff(indptr)
+    )
+    half = edge_src < indices  # each undirected edge once (u < v)
+    rows, cols = edge_src[half], indices[half]
     if rows.size < 2:
         return 0.0
-    deg = sym.sum(axis=1)
     x = np.concatenate([deg[rows], deg[cols]])
     y = np.concatenate([deg[cols], deg[rows]])
     if x.std() < 1e-12 or y.std() < 1e-12:
@@ -199,21 +196,27 @@ def pagerank(
     Dangling nodes (out-degree 0) redistribute their mass uniformly,
     the standard convention.  Returns a probability vector of shape
     ``(N,)``; raises ``ValueError`` on an invalid damping factor and
-    ``RuntimeError`` if power iteration fails to converge.
+    ``RuntimeError`` if power iteration fails to converge.  Each
+    iteration is one edge-scatter over the CSR columns — O(M + N), not
+    the dense O(N²) matmul.
     """
     if not 0.0 < damping < 1.0:
         raise ValueError(f"damping must be in (0, 1), got {damping}")
     n = snapshot.num_nodes
-    adj = snapshot.adjacency
-    out_deg = adj.sum(axis=1)
+    sp = snapshot.sparse()
+    edges = sp.edge_array()
+    src = edges[:, 0]
+    dst = edges[:, 1]
+    out_deg = sp.out_degrees().astype(np.float64)
     dangling = out_deg == 0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        transition = np.where(out_deg[:, None] > 0, adj / out_deg[:, None], 0.0)
+    inv_out = np.zeros(n)
+    np.divide(1.0, out_deg, out=inv_out, where=out_deg > 0)
     rank = np.full(n, 1.0 / n)
     teleport = (1.0 - damping) / n
     for _ in range(max_iter):
         dangling_mass = rank[dangling].sum() / n
-        new_rank = teleport + damping * (rank @ transition + dangling_mass)
+        flow = np.bincount(dst, weights=rank[src] * inv_out[src], minlength=n)
+        new_rank = teleport + damping * (flow + dangling_mass)
         if np.abs(new_rank - rank).sum() < tol:
             return new_rank
         rank = new_rank
@@ -248,13 +251,160 @@ def power_law_exponent(degrees: np.ndarray, d_min: int = 1) -> float:
 # snapshot summary used by the harness
 # ----------------------------------------------------------------------
 def structure_summary(snapshot: GraphSnapshot) -> Dict[str, float]:
-    """All scalar structural properties used in Table I, in one pass."""
-    in_deg = in_degree_sequence(snapshot)
-    out_deg = out_degree_sequence(snapshot)
+    """All scalar structural properties used in Table I, in one pass.
+
+    One CSR view, one component propagation: nc and lcc are both
+    derived from a single label pass.
+    """
+    sp = snapshot.sparse()
+    sizes = np.bincount(sp.connected_component_labels())
+    sizes = sizes[sizes > 0]
     return {
-        "in_ple": power_law_exponent(in_deg),
-        "out_ple": power_law_exponent(out_deg),
-        "wedge_count": float(wedge_count(snapshot)),
-        "nc": float(component_count(snapshot)),
-        "lcc": float(largest_component_size(snapshot)),
+        "in_ple": power_law_exponent(in_degree_sequence(snapshot)),
+        "out_ple": power_law_exponent(out_degree_sequence(snapshot)),
+        "wedge_count": float(sp.wedge_count()),
+        "nc": float((sizes > 1).sum()),
+        "lcc": float(sizes.max() if sizes.size else 0),
+    }
+
+
+# ----------------------------------------------------------------------
+# dense reference implementations (parity-test ground truth)
+# ----------------------------------------------------------------------
+def _reference_clustering_coefficients(snapshot: GraphSnapshot) -> np.ndarray:
+    """Dense A³ clustering (reference)."""
+    sym = snapshot.undirected_adjacency()
+    deg = sym.sum(axis=1)
+    tri = np.diag(sym @ sym @ sym) / 2.0
+    possible = deg * (deg - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cc = np.where(possible > 0, tri / possible, 0.0)
+    return cc
+
+
+def _reference_wedge_count(snapshot: GraphSnapshot) -> int:
+    """Dense degree-vector wedge count (reference)."""
+    sym = snapshot.undirected_adjacency()
+    deg = sym.sum(axis=1)
+    return int((deg * (deg - 1) / 2.0).sum())
+
+
+def _reference_triangle_count(snapshot: GraphSnapshot) -> int:
+    """Dense trace(A³)/6 triangle count (reference)."""
+    sym = snapshot.undirected_adjacency()
+    return int(np.round(np.trace(sym @ sym @ sym) / 6.0))
+
+
+def _reference_connected_components(snapshot: GraphSnapshot) -> List[np.ndarray]:
+    """Dense DFS components (reference)."""
+    sym = snapshot.undirected_adjacency()
+    n = snapshot.num_nodes
+    seen = np.zeros(n, dtype=bool)
+    comps: List[np.ndarray] = []
+    neighbors = [np.nonzero(sym[i])[0] for i in range(n)]
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            node = stack.pop()
+            comp.append(node)
+            for nb in neighbors[node]:
+                if not seen[nb]:
+                    seen[nb] = True
+                    stack.append(int(nb))
+        comps.append(np.array(sorted(comp)))
+    return comps
+
+
+def _reference_coreness(snapshot: GraphSnapshot) -> np.ndarray:
+    """Dense peeling coreness (reference)."""
+    sym = snapshot.undirected_adjacency()
+    n = snapshot.num_nodes
+    deg = sym.sum(axis=1).astype(int)
+    core = np.zeros(n, dtype=int)
+    alive = np.ones(n, dtype=bool)
+    current_deg = deg.copy()
+    k = 0
+    remaining = n
+    while remaining > 0:
+        peel = np.nonzero(alive & (current_deg <= k))[0]
+        if peel.size == 0:
+            k += 1
+            continue
+        for node in peel:
+            core[node] = k
+            alive[node] = False
+            remaining -= 1
+            nbs = np.nonzero(sym[node])[0]
+            for nb in nbs:
+                if alive[nb]:
+                    current_deg[nb] -= 1
+    return core
+
+
+def _reference_reciprocity(snapshot: GraphSnapshot) -> float:
+    """Dense A∘Aᵀ reciprocity (reference)."""
+    adj = snapshot.adjacency
+    m = adj.sum()
+    if m == 0:
+        return 0.0
+    return float((adj * adj.T).sum() / m)
+
+
+def _reference_degree_assortativity(snapshot: GraphSnapshot) -> float:
+    """Dense triu assortativity (reference)."""
+    sym = snapshot.undirected_adjacency()
+    rows, cols = np.nonzero(np.triu(sym, k=1))
+    if rows.size < 2:
+        return 0.0
+    deg = sym.sum(axis=1)
+    x = np.concatenate([deg[rows], deg[cols]])
+    y = np.concatenate([deg[cols], deg[rows]])
+    if x.std() < 1e-12 or y.std() < 1e-12:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def _reference_pagerank(
+    snapshot: GraphSnapshot,
+    damping: float = 0.85,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Dense transition-matrix PageRank (reference)."""
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    n = snapshot.num_nodes
+    adj = snapshot.adjacency
+    out_deg = adj.sum(axis=1)
+    dangling = out_deg == 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        transition = np.where(out_deg[:, None] > 0, adj / out_deg[:, None], 0.0)
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        dangling_mass = rank[dangling].sum() / n
+        new_rank = teleport + damping * (rank @ transition + dangling_mass)
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank
+        rank = new_rank
+    raise RuntimeError(
+        f"PageRank failed to converge within {max_iter} iterations"
+    )
+
+
+def _reference_structure_summary(snapshot: GraphSnapshot) -> Dict[str, float]:
+    """Dense-kernel Table-I summary (reference for the store bench)."""
+    sym_components = _reference_connected_components(snapshot)
+    return {
+        "in_ple": power_law_exponent(snapshot.adjacency.sum(axis=0)),
+        "out_ple": power_law_exponent(snapshot.adjacency.sum(axis=1)),
+        "wedge_count": float(_reference_wedge_count(snapshot)),
+        "nc": float(sum(1 for c in sym_components if len(c) > 1)),
+        "lcc": float(
+            max(len(c) for c in sym_components) if sym_components else 0
+        ),
     }

@@ -1,4 +1,20 @@
-"""Single-timestep attributed graph snapshot."""
+"""Single-timestep attributed graph snapshot.
+
+A snapshot is either *dense-backed* (constructed from an ``(N, N)``
+matrix, the legacy entry point) or *store-backed* (a view of one
+timestep of a :class:`~repro.graph.store.TemporalEdgeStore`).  Either
+way the public API is identical; the difference is cost:
+
+* Store-backed snapshots answer ``num_edges`` / ``edges`` / degree
+  queries straight from the shared columns in O(M_t + N), and
+  ``adjacency`` is a lazily-materialized, cached, **read-only** dense
+  view whose creation is counted (see
+  :func:`repro.graph.store.track_dense_materializations`).
+* Dense-backed snapshots behave exactly as before.
+
+``sparse()`` exposes the cached CSR view either way — the preferred
+access path for metric kernels.
+"""
 
 from __future__ import annotations
 
@@ -21,9 +37,11 @@ class GraphSnapshot:
         structure-only snapshot (``F = 0``).
     validate:
         Run invariant checks (binary adjacency, finite attributes).
+        Internal constructions pass ``validate=False``; the checks are
+        single vectorized passes (no sort — see ``_validate_dense``).
     """
 
-    __slots__ = ("adjacency", "attributes")
+    __slots__ = ("_adjacency", "_attributes", "_store", "_t", "_sparse")
 
     def __init__(
         self,
@@ -43,56 +61,129 @@ class GraphSnapshot:
                 f"attributes must be (N, F) with N={n}, got {attributes.shape}"
             )
         if validate:
-            uniq = np.unique(adjacency)
-            if not np.all(np.isin(uniq, (0.0, 1.0))):
-                raise ValueError("adjacency must be binary (0/1)")
-            if np.any(np.diag(adjacency) != 0):
-                raise ValueError("self-loops are not allowed")
-            if not np.all(np.isfinite(attributes)):
-                raise ValueError("attributes contain non-finite values")
-        self.adjacency = adjacency
-        self.attributes = attributes
+            _validate_dense(adjacency, attributes)
+        self._adjacency = adjacency
+        self._attributes = attributes
+        self._store = None
+        self._t = -1
+        self._sparse = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_store(cls, store, t: int) -> "GraphSnapshot":
+        """Store-backed view of timestep ``t`` (internal; no densify)."""
+        snap = cls.__new__(cls)
+        snap._adjacency = None
+        snap._attributes = None
+        snap._store = store
+        snap._t = int(t)
+        snap._sparse = None
+        return snap
+
+    @property
+    def is_store_backed(self) -> bool:
+        """Whether this snapshot is a view over a columnar edge store."""
+        return self._store is not None
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Dense ``(N, N)`` 0/1 matrix.
+
+        For store-backed snapshots this is a lazily-materialized,
+        cached, read-only view; its creation is counted so migrated
+        paths can assert they never densify.
+        """
+        if self._adjacency is None:
+            self._adjacency = self._store.dense_adjacency(self._t)
+        return self._adjacency
+
+    @property
+    def attributes(self) -> np.ndarray:
+        """``(N, F)`` attribute matrix (zero-copy slice when store-backed)."""
+        if self._attributes is None:
+            self._attributes = self._store.attributes_at(self._t)
+        return self._attributes
 
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
         """Number of nodes ``N``."""
-        return self.adjacency.shape[0]
+        if self._store is not None:
+            return self._store.num_nodes
+        return self._adjacency.shape[0]
 
     @property
     def num_edges(self) -> int:
         """Number of directed edges in this snapshot."""
-        return int(self.adjacency.sum())
+        if self._store is not None:
+            return self._store.num_edges_at(self._t)
+        return int(self._adjacency.sum())
 
     @property
     def num_attributes(self) -> int:
         """Attribute dimensionality ``F``."""
-        return self.attributes.shape[1]
+        if self._store is not None:
+            return self._store.num_attributes
+        return self._attributes.shape[1]
+
+    def edge_array(self) -> np.ndarray:
+        """Directed edges as an ``(E, 2)`` int64 array in CSR order.
+
+        Zero-copy-adjacent for store-backed snapshots (column slices);
+        one ``np.nonzero`` scan for dense-backed ones.
+        """
+        if self._store is not None:
+            src, dst = self._store.edges_at(self._t)
+            return np.stack([src, dst], axis=1)
+        rows, cols = np.nonzero(self._adjacency)
+        return np.stack([rows, cols], axis=1).astype(np.int64)
 
     def edges(self) -> List[Tuple[int, int]]:
         """Directed edge list as ``(src, dst)`` pairs."""
-        rows, cols = np.nonzero(self.adjacency)
-        return list(zip(rows.tolist(), cols.tolist()))
+        edges = self.edge_array()
+        return list(zip(edges[:, 0].tolist(), edges[:, 1].tolist()))
 
     def in_degrees(self) -> np.ndarray:
         """In-degree per node, shape ``(N,)``."""
-        return self.adjacency.sum(axis=0)
+        if self._store is not None:
+            return self._store.in_degrees_at(self._t).astype(np.float64)
+        return self._adjacency.sum(axis=0)
 
     def out_degrees(self) -> np.ndarray:
         """Out-degree per node, shape ``(N,)``."""
-        return self.adjacency.sum(axis=1)
+        if self._store is not None:
+            return self._store.out_degrees_at(self._t).astype(np.float64)
+        return self._adjacency.sum(axis=1)
 
     def degrees(self) -> np.ndarray:
         """Total (in + out) degree per node."""
         return self.in_degrees() + self.out_degrees()
 
+    def sparse(self):
+        """:class:`~repro.graph.sparse.SparseDirectedGraph` CSR view.
+
+        The preferred representation for metric kernels.  Store-backed
+        snapshots build it from the (immutable) store columns and
+        cache it; dense-backed snapshots rebuild from a fresh
+        ``np.nonzero`` scan on every call, so legal in-place edits of
+        a writable adjacency are always reflected (the pre-store
+        mutate-then-remeasure contract).
+        """
+        if self._store is not None:
+            if self._sparse is None:
+                self._sparse = self._store.sparse_at(self._t)
+            return self._sparse
+        from repro.graph.sparse import SparseDirectedGraph
+
+        return SparseDirectedGraph.from_snapshot(self)
+
     def undirected_adjacency(self) -> np.ndarray:
-        """Symmetrized 0/1 adjacency (used by clustering/coreness metrics)."""
+        """Symmetrized 0/1 adjacency (densifies; legacy consumers only)."""
         sym = np.maximum(self.adjacency, self.adjacency.T)
         return sym
 
     def copy(self) -> "GraphSnapshot":
-        """Deep copy (fresh adjacency and attribute arrays)."""
+        """Deep copy (fresh, writable, dense adjacency and attributes)."""
         return GraphSnapshot(
             self.adjacency.copy(), self.attributes.copy(), validate=False
         )
@@ -100,6 +191,12 @@ class GraphSnapshot:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GraphSnapshot):
             return NotImplemented
+        if self._store is not None and other._store is not None:
+            return (
+                self.num_nodes == other.num_nodes
+                and np.array_equal(self.edge_array(), other.edge_array())
+                and np.array_equal(self.attributes, other.attributes)
+            )
         return np.array_equal(self.adjacency, other.adjacency) and np.array_equal(
             self.attributes, other.attributes
         )
@@ -120,8 +217,18 @@ class GraphSnapshot:
     ) -> "GraphSnapshot":
         """Build a snapshot from a directed edge list (ignores self-loops)."""
         adj = np.zeros((num_nodes, num_nodes))
-        for u, v in edges:
-            if u == v:
-                continue
-            adj[u, v] = 1.0
+        pairs = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if pairs.size:
+            pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+            adj[pairs[:, 0], pairs[:, 1]] = 1.0
         return cls(adj, attributes)
+
+
+def _validate_dense(adjacency: np.ndarray, attributes: np.ndarray) -> None:
+    """Invariant checks in single vectorized passes (no sort/unique)."""
+    if adjacency.size and np.any((adjacency != 0.0) & (adjacency != 1.0)):
+        raise ValueError("adjacency must be binary (0/1)")
+    if np.any(np.diagonal(adjacency) != 0):
+        raise ValueError("self-loops are not allowed")
+    if attributes.size and not np.all(np.isfinite(attributes)):
+        raise ValueError("attributes contain non-finite values")

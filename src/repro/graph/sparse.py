@@ -69,13 +69,46 @@ class SparseDirectedGraph:
         )
         # lazily built symmetrized CSR view (indptr, indices)
         self._sym_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # lazily built weakly-connected component labels
+        self._labels: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @classmethod
     def from_snapshot(cls, snapshot: GraphSnapshot) -> "SparseDirectedGraph":
-        """Build the CSR view of a dense snapshot."""
-        rows, cols = np.nonzero(snapshot.adjacency)
-        return cls(snapshot.num_nodes, np.stack([rows, cols], axis=1))
+        """Build the CSR view of a snapshot (store columns when available)."""
+        edges = snapshot.edge_array()  # CSR order, deduplicated
+        # unvalidated dense snapshots may carry diagonal entries
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        return cls.from_sorted_edges(snapshot.num_nodes, edges)
+
+    @classmethod
+    def from_sorted_edges(
+        cls, num_nodes: int, edges: np.ndarray
+    ) -> "SparseDirectedGraph":
+        """Adopt an ``(E, 2)`` edge array already in canonical CSR order.
+
+        The caller guarantees rows are sorted by ``(src, dst)``,
+        deduplicated and loop-free (e.g. a
+        :class:`~repro.graph.store.TemporalEdgeStore` timestep slice);
+        skips the O(E log E) ``np.unique`` canonicalization.
+        """
+        graph = cls.__new__(cls)
+        graph.num_nodes = int(num_nodes)
+        graph._edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        counts = np.bincount(graph._edges[:, 0], minlength=graph.num_nodes)
+        graph._offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+        graph._sym_csr = None
+        graph._labels = None
+        return graph
+
+    def edge_array(self) -> np.ndarray:
+        """The ``(E, 2)`` canonical edge array, sorted by ``(src, dst)``.
+
+        A view of internal state — treat as read-only.
+        """
+        return self._edges
 
     def to_dense(self) -> np.ndarray:
         """Densify back to an ``(N, N)`` 0/1 matrix."""
@@ -149,8 +182,13 @@ class SparseDirectedGraph:
     # ------------------------------------------------------------------
     # vectorized metric kernels
     # ------------------------------------------------------------------
-    def clustering_coefficients(self) -> np.ndarray:
-        """Local clustering per node on the symmetrized structure.
+    def _triangle_links(self) -> np.ndarray:
+        """Per-node count of connected (ordered) neighbour pairs.
+
+        ``links[i]`` is the number of ordered pairs of neighbours of
+        ``i`` that are themselves connected — ``2 ×`` triangles through
+        ``i`` — the shared kernel behind clustering coefficients and
+        the triangle count.
 
         Sorted-neighbour triangle counting with no per-node Python
         loop: CSR entries are globally sorted under the composite key
@@ -163,10 +201,9 @@ class SparseDirectedGraph:
         indptr, indices = self.symmetric_csr()
         n = self.num_nodes
         deg = np.diff(indptr)
-        cc = np.zeros(n)
         n_entries = indices.size
         if n_entries == 0:
-            return cc
+            return np.zeros(n)
         edge_src = np.repeat(np.arange(n, dtype=np.int64), deg)
         # membership oracle: a dense bool matrix is one fancy-indexed
         # gather per wedge (used while N² bits stay small); beyond that,
@@ -223,18 +260,31 @@ class SparseDirectedGraph:
                 h_dst[start:stop], weights=per_edge, minlength=n
             )
             start = stop
+        return links
+
+    def clustering_coefficients(self) -> np.ndarray:
+        """Local clustering per node on the symmetrized structure."""
+        indptr, _ = self.symmetric_csr()
+        deg = np.diff(indptr)
+        cc = np.zeros(self.num_nodes)
+        links = self._triangle_links()
         possible = deg * (deg - 1)
         np.divide(links, possible, out=cc, where=possible > 0)
         return cc
 
-    def connected_component_sizes(self) -> List[int]:
-        """Weakly connected component sizes via min-label propagation.
+    def triangle_count(self) -> int:
+        """Number of undirected triangles (links kernel summed / 6)."""
+        return int(round(self._triangle_links().sum() / 6.0))
 
-        Each round pulls the minimum label across every edge
-        (``np.minimum.at``) and then pointer-jumps (``labels[labels]``)
-        until a fixed point; converges in O(log N) rounds on typical
-        graphs with all per-edge work vectorized.
+    def connected_component_labels(self) -> np.ndarray:
+        """Weakly-connected component label per node (min node id wins).
+
+        Min-label propagation with pointer jumping (see
+        :meth:`connected_component_sizes`); each component ends up
+        labelled by its smallest member.  Built once and cached.
         """
+        if self._labels is not None:
+            return self._labels
         n = self.num_nodes
         labels = np.arange(n, dtype=np.int64)
         if len(self._edges):
@@ -253,6 +303,18 @@ class SparseDirectedGraph:
                     labels = jumped
                 if np.array_equal(labels, prev):
                     break
+        self._labels = labels
+        return labels
+
+    def connected_component_sizes(self) -> List[int]:
+        """Weakly connected component sizes via min-label propagation.
+
+        Each round pulls the minimum label across every edge
+        (``np.minimum.at``) and then pointer-jumps (``labels[labels]``)
+        until a fixed point; converges in O(log N) rounds on typical
+        graphs with all per-edge work vectorized.
+        """
+        labels = self.connected_component_labels()
         sizes = np.bincount(labels, minlength=0)
         return sorted((int(s) for s in sizes[sizes > 0]), reverse=True)
 

@@ -35,7 +35,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.dynamic import DynamicAttributedGraph
-from repro.graph.snapshot import GraphSnapshot
+from repro.graph.store import TemporalEdgeStoreBuilder
 from repro.graph.temporal import TemporalEdgeList
 
 #: One timestamped directed interaction: (src, dst, time).
@@ -305,14 +305,19 @@ def discretize(
         raise ValueError(
             f"policy returned {len(buckets)} buckets, expected {num_timesteps}"
         )
-    snaps = []
+    if attributes is not None and not np.all(np.isfinite(attributes)):
+        raise ValueError("attributes contain non-finite values")
+    builder = TemporalEdgeStoreBuilder(
+        stream.num_nodes,
+        0 if attributes is None else np.asarray(attributes).shape[-1],
+    )
     for t, bucket in enumerate(buckets):
-        adj = np.zeros((stream.num_nodes, stream.num_nodes))
-        for u, v, _ in bucket:
-            adj[u, v] = 1.0
+        pairs = np.asarray(
+            [(u, v) for u, v, _ in bucket], dtype=np.int64
+        ).reshape(-1, 2)
         attr = None if attributes is None else attributes[t]
-        snaps.append(GraphSnapshot(adj, attr))
-    return DynamicAttributedGraph(snaps)
+        builder.add_step(pairs[:, 0], pairs[:, 1], attr)
+    return DynamicAttributedGraph.from_store(builder.build())
 
 
 def discretize_to_edge_list(
@@ -322,14 +327,31 @@ def discretize_to_edge_list(
 ) -> TemporalEdgeList:
     """Bucket a stream into the integer-timestep edge-stream view."""
     buckets = policy(stream, num_timesteps)
-    tel = TemporalEdgeList(stream.num_nodes, num_timesteps)
-    seen = set()
+    srcs, dsts, ts = [], [], []
     for t, bucket in enumerate(buckets):
-        for u, v, _ in bucket:
-            if (u, v, t) not in seen:
-                seen.add((u, v, t))
-                tel.add(u, v, t)
-    return tel
+        pairs = np.asarray(
+            [(u, v) for u, v, _ in bucket], dtype=np.int64
+        ).reshape(-1, 2)
+        if not len(pairs):
+            continue
+        # order-preserving per-bucket dedup: keep each pair's first
+        # occurrence (np.unique returns first indices on stable input)
+        keys = pairs[:, 0] * stream.num_nodes + pairs[:, 1]
+        _, first = np.unique(keys, return_index=True)
+        keep = np.sort(first)
+        srcs.append(pairs[keep, 0])
+        dsts.append(pairs[keep, 1])
+        ts.append(np.full(keep.size, t, dtype=np.int64))
+    if not srcs:
+        return TemporalEdgeList(stream.num_nodes, num_timesteps)
+    return TemporalEdgeList.from_arrays(
+        np.concatenate(srcs),
+        np.concatenate(dsts),
+        np.concatenate(ts),
+        stream.num_nodes,
+        num_timesteps,
+        copy=False,
+    )
 
 
 def to_stream(
@@ -346,15 +368,17 @@ def to_stream(
     """
     if window <= 0:
         raise ValueError("window must be positive")
-    events: List[Event] = []
-    for t, snap in enumerate(graph):
-        lo = t * window
-        for u, v in snap.edges():
-            if rng is None:
-                ts = lo + window / 2
-            else:
-                ts = lo + float(rng.uniform(0.0, window))
-            events.append((u, v, ts))
+    store = graph.store  # canonical columns, sorted by (t, src, dst)
+    if rng is None:
+        times = store.t * window + window / 2
+    else:
+        times = store.t * window + rng.uniform(0.0, window, size=store.num_edges)
+    events = [
+        (u, v, ts)
+        for u, v, ts in zip(
+            store.src.tolist(), store.dst.tolist(), times.tolist()
+        )
+    ]
     return InteractionStream(graph.num_nodes, events)
 
 

@@ -5,16 +5,26 @@ streams rather than snapshot tensors; this module provides a lossless
 bridge between the two representations (attributes ride along on the
 snapshot side only — the stream view is structure + time, exactly what
 the paper's walk-based baselines consume).
+
+Internally the stream is *columnar*: three parallel int64 arrays
+``(src, dst, t)`` in insertion order, so the walk samplers consume it
+zero-copy via :meth:`TemporalEdgeList.arrays`.  Unlike the canonical
+:class:`~repro.graph.store.TemporalEdgeStore` (sorted, deduplicated),
+the stream view is an ordered **multiset** — duplicate temporal edges
+carry multiplicity, which the walk-merging stage uses as frequency
+evidence.  :meth:`from_dynamic_graph` wraps the graph's store columns
+without copying; :meth:`to_store` / :meth:`to_dynamic_graph` collapse
+multiplicity back into the canonical store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.dynamic import DynamicAttributedGraph
-from repro.graph.snapshot import GraphSnapshot
+from repro.graph.store import TemporalEdgeStore
 
 
 class TemporalEdgeList:
@@ -24,10 +34,77 @@ class TemporalEdgeList:
                  edges: Sequence[Tuple[int, int, int]] = ()):
         self.num_nodes = int(num_nodes)
         self.num_timesteps = int(num_timesteps)
-        self.edges: List[Tuple[int, int, int]] = []
-        for u, v, t in edges:
-            self.add(u, v, t)
+        self._src = np.zeros(0, dtype=np.int64)
+        self._dst = np.zeros(0, dtype=np.int64)
+        self._t = np.zeros(0, dtype=np.int64)
+        # add() appends to Python lists; reads flush into the columns
+        self._pending: List[Tuple[int, int, int]] = []
+        edges = list(edges)
+        if edges:
+            arr = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+            self._ingest(arr[:, 0], arr[:, 1], arr[:, 2])
 
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        src,
+        dst,
+        t,
+        num_nodes: Optional[int] = None,
+        num_timesteps: Optional[int] = None,
+        *,
+        copy: bool = True,
+    ) -> "TemporalEdgeList":
+        """Vectorized bulk ingestion of parallel ``(src, dst, t)`` columns.
+
+        The columnar replacement for per-edge :meth:`add` loops:
+        validates ranges, drops self-loops and keeps input order, all
+        in whole-array operations.  ``num_nodes`` / ``num_timesteps``
+        default to one past the maximum observed ids.  ``copy=False``
+        adopts the arrays verbatim (internal zero-copy path; caller
+        guarantees int64 dtype and validity).
+        """
+        src = np.asarray(src, dtype=np.int64).reshape(-1)
+        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        t = np.asarray(t, dtype=np.int64).reshape(-1)
+        if not (src.size == dst.size == t.size):
+            raise ValueError(
+                f"column lengths differ: {src.size}/{dst.size}/{t.size}"
+            )
+        if num_nodes is None:
+            num_nodes = int(max(src.max(), dst.max())) + 1 if src.size else 0
+        if num_timesteps is None:
+            num_timesteps = int(t.max()) + 1 if t.size else 1
+        tel = cls(num_nodes, num_timesteps)
+        if copy:
+            tel._ingest(src, dst, t)
+        else:
+            tel._src, tel._dst, tel._t = src, dst, t
+        return tel
+
+    @classmethod
+    def from_store(cls, store: TemporalEdgeStore) -> "TemporalEdgeList":
+        """Zero-copy stream view over a store's columns (sorted order)."""
+        tel = cls(store.num_nodes, store.num_timesteps)
+        tel._src, tel._dst, tel._t = store.src, store.dst, store.t
+        return tel
+
+    @classmethod
+    def from_dynamic_graph(cls, graph: DynamicAttributedGraph) -> "TemporalEdgeList":
+        """Flatten snapshots into the stream view (deduplicated per step).
+
+        Rides the graph's canonical store — zero-copy when the graph is
+        store-backed, one vectorized scan (cached on the graph)
+        otherwise.
+        """
+        return cls.from_store(graph.store)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
     def add(self, u: int, v: int, t: int) -> None:
         """Append edge ``(u, v, t)`` after range checks; self-loops are dropped."""
         if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
@@ -36,10 +113,50 @@ class TemporalEdgeList:
             raise ValueError(f"timestep {t} out of range 0..{self.num_timesteps - 1}")
         if u == v:
             return
-        self.edges.append((int(u), int(v), int(t)))
+        self._pending.append((int(u), int(v), int(t)))
+
+    def _ingest(self, src: np.ndarray, dst: np.ndarray, t: np.ndarray) -> None:
+        if src.size:
+            if src.min() < 0 or dst.min() < 0 or (
+                max(src.max(), dst.max()) >= self.num_nodes
+            ):
+                raise ValueError("edge endpoints out of range")
+            if t.min() < 0 or t.max() >= self.num_timesteps:
+                raise ValueError(
+                    f"timesteps out of range 0..{self.num_timesteps - 1}"
+                )
+        keep = src != dst
+        src, dst, t = src[keep], dst[keep], t[keep]
+        self._src = np.concatenate([self._src, src])
+        self._dst = np.concatenate([self._dst, dst])
+        self._t = np.concatenate([self._t, t])
+
+    def _flush(self) -> None:
+        if self._pending:
+            arr = np.asarray(self._pending, dtype=np.int64).reshape(-1, 3)
+            self._pending.clear()
+            # add() already validated and dropped self-loops
+            self._src = np.concatenate([self._src, arr[:, 0]])
+            self._dst = np.concatenate([self._dst, arr[:, 1]])
+            self._t = np.concatenate([self._t, arr[:, 2]])
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(src, dst, t)`` columns in insertion order (views)."""
+        self._flush()
+        return self._src, self._dst, self._t
+
+    @property
+    def edges(self) -> List[Tuple[int, int, int]]:
+        """Edge triples as Python tuples (legacy materialized view)."""
+        src, dst, t = self.arrays()
+        return list(zip(src.tolist(), dst.tolist(), t.tolist()))
 
     def __len__(self) -> int:
-        return len(self.edges)
+        self._flush()
+        return int(self._src.size)
 
     def __iter__(self):
         return iter(self.edges)
@@ -47,49 +164,45 @@ class TemporalEdgeList:
     # ------------------------------------------------------------------
     def edges_at(self, t: int) -> List[Tuple[int, int]]:
         """Directed ``(src, dst)`` pairs active at timestep ``t``."""
-        return [(u, v) for u, v, tt in self.edges if tt == t]
+        src, dst, tt = self.arrays()
+        mask = tt == t
+        return list(zip(src[mask].tolist(), dst[mask].tolist()))
 
     def neighbors_at(self, t: int) -> Dict[int, List[int]]:
         """Out-neighbour adjacency map for timestep ``t``."""
         adj: Dict[int, List[int]] = {}
-        for u, v, tt in self.edges:
-            if tt == t:
-                adj.setdefault(u, []).append(v)
+        for u, v in self.edges_at(t):
+            adj.setdefault(u, []).append(v)
         return adj
 
     def temporal_neighbors(self) -> Dict[int, List[Tuple[int, int]]]:
         """Map node -> list of (neighbour, time) over out-edges (all t)."""
+        src, dst, tt = self.arrays()
         adj: Dict[int, List[Tuple[int, int]]] = {}
-        for u, v, t in self.edges:
+        for u, v, t in zip(src.tolist(), dst.tolist(), tt.tolist()):
             adj.setdefault(u, []).append((v, t))
         return adj
 
     # ------------------------------------------------------------------
-    @classmethod
-    def from_dynamic_graph(cls, graph: DynamicAttributedGraph) -> "TemporalEdgeList":
-        """Flatten snapshots into the stream view (deduplicated per step)."""
-        tel = cls(graph.num_nodes, graph.num_timesteps)
-        for t, snap in enumerate(graph):
-            for u, v in snap.edges():
-                tel.add(u, v, t)
-        return tel
+    def to_store(
+        self, attributes: Optional[np.ndarray] = None
+    ) -> TemporalEdgeStore:
+        """Collapse the multiset into the canonical (deduplicated) store."""
+        src, dst, t = self.arrays()
+        return TemporalEdgeStore(
+            self.num_nodes, self.num_timesteps, src, dst, t, attributes,
+            validate=attributes is not None,
+        )
 
     def to_dynamic_graph(
         self, attributes: np.ndarray | None = None
     ) -> DynamicAttributedGraph:
-        """Re-bucket edges by timestep into snapshots.
+        """Re-bucket edges by timestep into a store-backed dynamic graph.
 
         ``attributes`` is an optional ``(T, N, F)`` tensor attached
         verbatim (the stream itself carries no attributes).
         """
-        snaps = []
-        for t in range(self.num_timesteps):
-            adj = np.zeros((self.num_nodes, self.num_nodes))
-            for u, v in self.edges_at(t):
-                adj[u, v] = 1.0
-            attr = None if attributes is None else attributes[t]
-            snaps.append(GraphSnapshot(adj, attr))
-        return DynamicAttributedGraph(snaps)
+        return DynamicAttributedGraph.from_store(self.to_store(attributes))
 
     def subsample(self, max_edges: int, rng: np.random.Generator) -> "TemporalEdgeList":
         """Uniformly subsample at most ``max_edges`` temporal edges.
@@ -97,8 +210,14 @@ class TemporalEdgeList:
         Used by the scalability benches (Tables III/IV) which sweep the
         number of temporal edges drawn from GDELT.
         """
-        if len(self.edges) <= max_edges:
-            return TemporalEdgeList(self.num_nodes, self.num_timesteps, self.edges)
-        idx = rng.choice(len(self.edges), size=max_edges, replace=False)
-        picked = [self.edges[i] for i in sorted(idx.tolist())]
-        return TemporalEdgeList(self.num_nodes, self.num_timesteps, picked)
+        src, dst, t = self.arrays()
+        if src.size <= max_edges:
+            return TemporalEdgeList.from_arrays(
+                src.copy(), dst.copy(), t.copy(),
+                self.num_nodes, self.num_timesteps, copy=False,
+            )
+        idx = np.sort(rng.choice(src.size, size=max_edges, replace=False))
+        return TemporalEdgeList.from_arrays(
+            src[idx], dst[idx], t[idx],
+            self.num_nodes, self.num_timesteps, copy=False,
+        )

@@ -102,17 +102,32 @@ def _triple_indices(n: int) -> np.ndarray:
     return np.stack([i[mask], j[mask], k[mask]], axis=1)
 
 
-def _triple_codes(adjacency: np.ndarray, triples: np.ndarray) -> np.ndarray:
+def _edge_membership(snapshot: GraphSnapshot) -> np.ndarray:
+    """Boolean ``(N, N)`` membership built from the CSR edge columns.
+
+    One scatter over the edge list — store-backed snapshots are never
+    densified to float adjacency (the bool mask is the census's own
+    O(N²)-bit working set, transient per snapshot).
+    """
+    n = snapshot.num_nodes
+    member = np.zeros((n, n), dtype=bool)
+    edges = snapshot.edge_array()
+    if len(edges):
+        member[edges[:, 0], edges[:, 1]] = True
+    return member
+
+
+def _triple_codes(member: np.ndarray, triples: np.ndarray) -> np.ndarray:
     """6-bit edge code of every triple, shape (num_triples,)."""
-    a = adjacency
+    a = member
     i, j, k = triples[:, 0], triples[:, 1], triples[:, 2]
     code = (
-        (a[i, j] > 0).astype(int)
-        | ((a[j, i] > 0).astype(int) << 1)
-        | ((a[i, k] > 0).astype(int) << 2)
-        | ((a[k, i] > 0).astype(int) << 3)
-        | ((a[j, k] > 0).astype(int) << 4)
-        | ((a[k, j] > 0).astype(int) << 5)
+        a[i, j].astype(int)
+        | (a[j, i].astype(int) << 1)
+        | (a[i, k].astype(int) << 2)
+        | (a[k, i].astype(int) << 3)
+        | (a[j, k].astype(int) << 4)
+        | (a[k, j].astype(int) << 5)
     )
     return code
 
@@ -123,7 +138,7 @@ def triad_census(snapshot: GraphSnapshot) -> Dict[str, int]:
     if n < 3:
         return {name: 0 for name in TRIAD_NAMES}
     triples = _triple_indices(n)
-    classes = _CODE_TO_CLASS[_triple_codes(snapshot.adjacency, triples)]
+    classes = _CODE_TO_CLASS[_triple_codes(_edge_membership(snapshot), triples)]
     counts = np.bincount(classes, minlength=16)
     return {name: int(counts[i]) for i, name in enumerate(TRIAD_NAMES)}
 
@@ -150,9 +165,9 @@ def motif_transition_matrix(graph: DynamicAttributedGraph) -> np.ndarray:
     if n < 3 or graph.num_timesteps < 2:
         return trans
     triples = _triple_indices(n)
-    prev = _CODE_TO_CLASS[_triple_codes(graph[0].adjacency, triples)]
+    prev = _CODE_TO_CLASS[_triple_codes(_edge_membership(graph[0]), triples)]
     for t in range(1, graph.num_timesteps):
-        cur = _CODE_TO_CLASS[_triple_codes(graph[t].adjacency, triples)]
+        cur = _CODE_TO_CLASS[_triple_codes(_edge_membership(graph[t]), triples)]
         np.add.at(trans, (prev, cur), 1.0)
         prev = cur
     return trans

@@ -48,17 +48,20 @@ def edge_overlap(
 ) -> float:
     """Fraction of original ``(u, v, t)`` edges present in the synthetic.
 
-    Timesteps beyond the shorter sequence are ignored.
+    Timesteps beyond the shorter sequence are ignored.  One sorted-key
+    intersection over the stores' composite temporal edge keys —
+    O(M), no dense adjacency.
     """
     _check_compatible(original, synthetic)
     t_len = min(original.num_timesteps, synthetic.num_timesteps)
-    matched = 0
-    total = 0
-    for t in range(t_len):
-        orig = original[t].adjacency
-        syn = synthetic[t].adjacency
-        matched += int(((orig > 0) & (syn > 0)).sum())
-        total += int((orig > 0).sum())
+    n = original.num_nodes
+    bound = t_len * n * n  # keys of timesteps < t_len are below this
+    orig_keys = original.store.temporal_edge_keys()
+    syn_keys = synthetic.store.temporal_edge_keys()
+    orig_keys = orig_keys[: np.searchsorted(orig_keys, bound)]
+    syn_keys = syn_keys[: np.searchsorted(syn_keys, bound)]
+    total = int(orig_keys.size)
+    matched = int(np.intersect1d(orig_keys, syn_keys, assume_unique=True).size)
     return matched / total if total else 0.0
 
 
@@ -131,15 +134,17 @@ def degree_sequence_uniqueness(
     """
     _check_compatible(original, synthetic)
     t_len = min(original.num_timesteps, synthetic.num_timesteps)
-    orig_fp = {
-        tuple(int(original[t].degrees()[v]) for t in range(t_len))
-        for v in range(original.num_nodes)
-    }
+
+    def fingerprints(graph: DynamicAttributedGraph) -> np.ndarray:
+        # (N, T) per-node temporal degree matrix, one bincount per step
+        return np.stack(
+            [graph[t].degrees().astype(np.int64) for t in range(t_len)],
+            axis=1,
+        )
+
+    orig_fp = {tuple(row) for row in fingerprints(original).tolist()}
     orig_fp = {fp for fp in orig_fp if any(fp)}
-    syn_fp = {
-        tuple(int(synthetic[t].degrees()[v]) for t in range(t_len))
-        for v in range(synthetic.num_nodes)
-    }
+    syn_fp = {tuple(row) for row in fingerprints(synthetic).tolist()}
     if not orig_fp:
         return 0.0
     return len(orig_fp & syn_fp) / len(orig_fp)

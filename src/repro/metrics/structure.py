@@ -4,6 +4,12 @@ Per-snapshot distribution discrepancies (MMD on in/out degree and
 clustering-coefficient distributions) averaged across aligned
 timesteps, and the average percentage discrepancy of Eq. 19 applied to
 power-law exponents, wedge counts, component counts and LCC size.
+
+All per-snapshot readings go through the CSR/column views (degree
+bincounts, the sparse clustering/component kernels in
+:mod:`repro.graph.properties`), so scoring a store-backed generated
+graph never materializes dense adjacency — asserted end-to-end by
+``tests/integration/test_store_end_to_end.py``.
 """
 
 from __future__ import annotations

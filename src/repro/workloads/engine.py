@@ -6,42 +6,54 @@ per-snapshot sorted attribute indexes for range scans.  Query methods
 cover the access patterns graph databases are benchmarked on —
 point lookups, traversals, pattern counting, analytics and temporal
 reachability.
+
+Indexes are derived from the graph's canonical columnar store: the
+forward CSR is a zero-copy view of the store's ``(t, src, dst)``-sorted
+columns and the reverse index one O(M_t log M_t) re-sort — no dense
+``(N, N)`` matrix is ever touched.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
+from repro.graph import properties as props
 from repro.graph.dynamic import DynamicAttributedGraph
 
 
 class _SnapshotIndex:
-    """CSR forward/reverse adjacency for one snapshot."""
+    """CSR forward/reverse adjacency for one snapshot.
 
-    __slots__ = ("fwd_indptr", "fwd_indices", "rev_indptr", "rev_indices")
+    A thin facade over the store's per-timestep ``csr_at``/``csc_at``
+    indexes (shared caches, zero-copy); the reverse index costs an
+    O(M log M) re-sort and is only built on the first in-neighbour
+    query.
+    """
 
-    def __init__(self, adjacency: np.ndarray):
-        self.fwd_indptr, self.fwd_indices = self._csr(adjacency)
-        self.rev_indptr, self.rev_indices = self._csr(adjacency.T)
+    __slots__ = ("_store", "_t", "fwd_indptr", "fwd_indices",
+                 "rev_indptr", "rev_indices")
 
-    @staticmethod
-    def _csr(adjacency: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        n = adjacency.shape[0]
-        src, dst = np.nonzero(adjacency)
-        order = np.lexsort((dst, src))
-        src, dst = src[order], dst[order]
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.add.at(indptr, src + 1, 1)
-        np.cumsum(indptr, out=indptr)
-        return indptr, dst.astype(np.int64)
+    def __init__(self, store, t: int):
+        self._store = store
+        self._t = t
+        self.fwd_indptr, self.fwd_indices = store.csr_at(t)
+        self.rev_indptr = None
+        self.rev_indices = None
 
     def out_neighbors(self, v: int) -> np.ndarray:
         return self.fwd_indices[self.fwd_indptr[v]:self.fwd_indptr[v + 1]]
 
     def in_neighbors(self, v: int) -> np.ndarray:
+        if self.rev_indptr is None:
+            self.rev_indptr, self.rev_indices = self._store.csc_at(self._t)
         return self.rev_indices[self.rev_indptr[v]:self.rev_indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        row = self.out_neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < len(row) and row[pos] == v)
 
 
 class GraphQueryEngine:
@@ -72,7 +84,9 @@ class GraphQueryEngine:
     def _index(self, t: int) -> _SnapshotIndex:
         self._check_t(t)
         if t not in self._snapshot_index:
-            self._snapshot_index[t] = _SnapshotIndex(self.graph[t].adjacency)
+            # graph.store derives the columnar form once (cached on the
+            # graph); per-timestep CSR/CSC caches live on the store
+            self._snapshot_index[t] = _SnapshotIndex(self.graph.store, t)
         return self._snapshot_index[t]
 
     # ------------------------------------------------------------------
@@ -92,10 +106,7 @@ class GraphQueryEngine:
         """Whether the directed edge ``u -> v`` exists in snapshot ``t``."""
         self._check_v(u)
         self._check_v(v)
-        idx = self._index(t)
-        row = idx.out_neighbors(u)
-        pos = np.searchsorted(row, v)
-        return bool(pos < len(row) and row[pos] == v)
+        return self._index(t).has_edge(u, v)
 
     def k_hop(self, v: int, t: int, k: int, directed: bool = True) -> Set[int]:
         """Nodes reachable from ``v`` within ``k`` hops in snapshot ``t``.
@@ -126,9 +137,9 @@ class GraphQueryEngine:
     # pattern / analytic queries
     # ------------------------------------------------------------------
     def triangle_count(self, t: int) -> int:
-        """Undirected triangle count of snapshot ``t``."""
-        a = self.graph[t].undirected_adjacency()
-        return int(np.trace(a @ a @ a) / 6)
+        """Undirected triangle count of snapshot ``t`` (CSR kernel)."""
+        self._check_t(t)
+        return props.triangle_count(self.graph[t])
 
     def degree_topk(self, t: int, k: int, direction: str = "out") -> List[int]:
         """The ``k`` highest-degree node ids (ties by id, ascending)."""
@@ -208,6 +219,6 @@ class GraphQueryEngine:
         self._check_v(v)
         hits = sum(
             1 for t in range(self.graph.num_timesteps)
-            if self.graph[t].adjacency[u, v] > 0
+            if self._index(t).has_edge(u, v)
         )
         return hits / self.graph.num_timesteps

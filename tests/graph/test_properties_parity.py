@@ -1,0 +1,100 @@
+"""CSR property kernels pinned to their dense ``_reference_*`` twins.
+
+Mirrors the ``tests/graph/test_sparse_parity.py`` pattern: every
+metric migrated off dense adjacency in ``repro.graph.properties`` must
+agree with the original dense implementation, on dense-backed and
+store-backed snapshots alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicAttributedGraph, GraphSnapshot
+from repro.graph import properties as props
+
+
+def _random_snapshot(n, density, seed):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((n, n)) < density).astype(float)
+    np.fill_diagonal(adj, 0.0)
+    return GraphSnapshot(adj)
+
+
+def _store_backed(snapshot):
+    graph = DynamicAttributedGraph([snapshot])
+    return DynamicAttributedGraph.from_store(graph.store)[0]
+
+
+SNAPSHOTS = [
+    _random_snapshot(20, 0.15, 0),
+    _random_snapshot(40, 0.05, 1),
+    _random_snapshot(12, 0.5, 2),
+    GraphSnapshot(np.zeros((6, 6))),  # empty
+]
+
+
+@pytest.fixture(params=range(len(SNAPSHOTS)), ids=lambda i: f"graph{i}")
+def snap_pair(request):
+    dense = SNAPSHOTS[request.param]
+    return dense, _store_backed(dense)
+
+
+class TestPropertiesParity:
+    def test_clustering(self, snap_pair):
+        dense, stored = snap_pair
+        ref = props._reference_clustering_coefficients(dense)
+        np.testing.assert_allclose(props.clustering_coefficients(dense), ref)
+        np.testing.assert_allclose(props.clustering_coefficients(stored), ref)
+
+    def test_wedges_and_triangles(self, snap_pair):
+        dense, stored = snap_pair
+        assert props.wedge_count(stored) == props._reference_wedge_count(dense)
+        assert (
+            props.triangle_count(stored)
+            == props._reference_triangle_count(dense)
+        )
+
+    def test_components(self, snap_pair):
+        dense, stored = snap_pair
+        ref = props._reference_connected_components(dense)
+        got = props.connected_components(stored)
+        assert len(got) == len(ref)
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a, b)
+        ref_nc = sum(1 for c in ref if len(c) > 1)
+        assert props.component_count(stored) == ref_nc
+        assert props.largest_component_size(stored) == max(
+            (len(c) for c in ref), default=0
+        )
+
+    def test_coreness(self, snap_pair):
+        dense, stored = snap_pair
+        ref = props._reference_coreness(dense)
+        np.testing.assert_array_equal(props.coreness(dense), ref)
+        np.testing.assert_array_equal(props.coreness(stored), ref)
+
+    def test_reciprocity(self, snap_pair):
+        dense, stored = snap_pair
+        ref = props._reference_reciprocity(dense)
+        assert props.reciprocity(stored) == pytest.approx(ref)
+
+    def test_assortativity(self, snap_pair):
+        dense, stored = snap_pair
+        ref = props._reference_degree_assortativity(dense)
+        assert props.degree_assortativity(stored) == pytest.approx(ref)
+
+    def test_pagerank(self, snap_pair):
+        dense, stored = snap_pair
+        ref = props._reference_pagerank(dense)
+        np.testing.assert_allclose(props.pagerank(stored), ref, atol=1e-9)
+
+    def test_structure_summary(self, snap_pair):
+        dense, stored = snap_pair
+        ref = props._reference_structure_summary(dense)
+        got = props.structure_summary(stored)
+        assert set(got) == set(ref)
+        for key in ref:
+            if np.isnan(ref[key]):
+                assert np.isnan(got[key])
+            else:
+                assert got[key] == pytest.approx(ref[key])

@@ -1,0 +1,121 @@
+"""Acceptance: fit → generate → evaluate never densifies the store.
+
+On a Table-I-shaped workload (co-evolving attributed graph) the
+migrated harness path — walk-baseline and VRDAG fit paths, store-backed
+generation, CSR metric scoring — must finish with **zero** store→dense
+adjacency materializations, i.e. peak structural memory stays
+O(M + N) per timestep view rather than an O(N²·T) dense stack.
+"""
+
+import numpy as np
+
+from repro.datasets import CoEvolutionConfig, generate_co_evolving_graph
+from repro.eval.harness import VRDAGGenerator, timed_fit_generate
+from repro.baselines import TagGen, TIGGER
+from repro.graph import track_dense_materializations
+from repro.metrics import privacy_report, structure_metric_table
+from repro.metrics.motifs import motif_discrepancy
+
+
+def _workload():
+    cfg = CoEvolutionConfig(
+        num_nodes=20,
+        num_timesteps=4,
+        num_attributes=2,
+        edges_per_step=40,
+        num_communities=3,
+    )
+    return generate_co_evolving_graph(cfg, seed=11)
+
+
+class TestZeroDenseMaterializations:
+    def test_taggen_fit_generate_score(self):
+        graph = _workload()
+        with track_dense_materializations() as materialized:
+            run = timed_fit_generate("TagGen", TagGen(seed=0), graph, seed=1)
+            structure_metric_table(graph, run.generated)
+            privacy_report(graph, run.generated)
+            motif_discrepancy(graph, run.generated)
+            assert materialized() == 0
+        assert run.dense_materializations == 0
+        assert run.generated.is_store_backed
+
+    def test_tigger_fit_generate_score(self):
+        graph = _workload()
+        with track_dense_materializations() as materialized:
+            run = timed_fit_generate("TIGGER", TIGGER(epochs=1, seed=0),
+                                     graph, seed=1)
+            structure_metric_table(graph, run.generated)
+            assert materialized() == 0
+        assert run.dense_materializations == 0
+
+    def test_vrdag_fit_generate_score(self):
+        graph = _workload()
+        with track_dense_materializations() as materialized:
+            run = timed_fit_generate(
+                "VRDAG", VRDAGGenerator(epochs=2, seed=0), graph, seed=1
+            )
+            structure_metric_table(graph, run.generated)
+            privacy_report(graph, run.generated)
+            assert materialized() == 0
+        assert run.dense_materializations == 0
+        assert run.generated.is_store_backed
+
+    def test_generated_structural_memory_is_sparse(self):
+        graph = _workload()
+        run = timed_fit_generate(
+            "VRDAG", VRDAGGenerator(epochs=1, seed=0), graph, seed=1
+        )
+        store = run.generated.store
+        n, t = store.num_nodes, store.num_timesteps
+        dense_bytes = n * n * t * 8
+        # structural columns are O(M + T), nowhere near the dense stack
+        assert store.structural_nbytes() <= max(
+            32 * (store.num_edges + t + 1), dense_bytes // 4
+        )
+        assert store.structural_nbytes() < dense_bytes
+
+    def test_scoring_two_store_backed_graphs_stays_sparse(self):
+        graph = _workload()
+        gen = VRDAGGenerator(epochs=1, seed=0).fit(graph)
+        a = gen.generate(graph.num_timesteps, seed=2)
+        b = gen.generate(graph.num_timesteps, seed=3)
+        with track_dense_materializations() as materialized:
+            structure_metric_table(a, b)
+            privacy_report(a, b)
+            assert materialized() == 0
+
+    def test_dense_core_fit_on_store_backed_input_is_bounded(self):
+        # VRDAG's teacher-forced ELBO is O(N²) by design: fitting a
+        # *store-backed* input materializes each training timestep's
+        # cached dense view at most once (≤ T, never per-epoch), and
+        # generation/scoring stays at zero.
+        from repro.graph import DynamicAttributedGraph
+
+        dense = _workload()
+        graph = DynamicAttributedGraph.from_store(dense.store)
+        t_len = graph.num_timesteps
+        with track_dense_materializations() as materialized:
+            gen = VRDAGGenerator(epochs=3, seed=0).fit(graph)
+            assert materialized() <= t_len
+            fit_count = materialized()
+            out = gen.generate(t_len, seed=1)
+            structure_metric_table(graph, out)
+            assert materialized() == fit_count  # generate + score add 0
+
+    def test_reference_decode_matches_store_path(self):
+        # the store-emitting decode must produce the same graphs as the
+        # dense reference sampler (RNG-consumption parity)
+        graph = _workload()
+        gen = VRDAGGenerator(epochs=1, seed=0).fit(graph)
+        sampler = gen.model.structure_sampler
+        rng = np.random.default_rng(7)
+        s = np.random.default_rng(8).normal(size=(20, sampler.f_theta.layers[0].weight.shape[0]))
+        from repro.autodiff.tensor import Tensor
+
+        fast = sampler.sample(Tensor(s), np.random.default_rng(9))
+        ref = sampler._reference_sample(Tensor(s), np.random.default_rng(9))
+        np.testing.assert_array_equal(fast, ref)
+        src, dst = sampler.sample_edges(Tensor(s), np.random.default_rng(9))
+        np.testing.assert_array_equal(np.nonzero(ref)[0], src)
+        np.testing.assert_array_equal(np.nonzero(ref)[1], dst)
