@@ -24,8 +24,9 @@ from repro.graph import io as graph_io
 from repro.graph import properties as props
 
 
-def main() -> None:
-    workload = load_dataset("wiki", scale=0.015, seed=0)
+def main(tiny: bool = False) -> None:
+    scale, epochs, num_instances = (0.01, 2, 2) if tiny else (0.015, 15, 3)
+    workload = load_dataset("wiki", scale=scale, seed=0)
     print(f"observed workload: {workload}")
 
     config = VRDAGConfig(
@@ -34,11 +35,11 @@ def main() -> None:
         hidden_dim=24, latent_dim=12, encode_dim=24, seed=0,
     )
     model = VRDAG(config)
-    VRDAGTrainer(model, TrainConfig(epochs=15)).fit(workload)
+    VRDAGTrainer(model, TrainConfig(epochs=epochs)).fit(workload)
 
     # benchmark instances: same profile, fresh randomness per seed
     print("\nbenchmark instance suite:")
-    for seed in range(3):
+    for seed in range(num_instances):
         instance = model.generate(workload.num_timesteps, seed=seed)
         last = instance[-1]
         print(
@@ -69,4 +70,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

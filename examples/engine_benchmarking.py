@@ -37,18 +37,21 @@ def profile(name, graph, config):
     return report
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
+    scale, epochs, num_queries = (0.012, 2, 120) if tiny else (0.05, 20, 600)
     # 1. The customer's private graph (email twin stands in).
-    private = load_dataset("email", scale=0.05, seed=0)
+    private = load_dataset("email", scale=scale, seed=0)
     print(f"private graph: {private}")
 
     # 2. Train VRDAG and generate the shippable benchmark instance.
-    generator = make_vrdag(epochs=20, seed=0).fit(private)
+    generator = make_vrdag(epochs=epochs, seed=0).fit(private)
     synthetic = generator.generate(private.num_timesteps, seed=42)
     print(f"synthetic benchmark instance: {synthetic}")
 
     # 3. One workload spec, applied to both graphs.
-    config = WorkloadConfig(num_queries=600, zipf_s=1.0, recent_bias=0.5, seed=7)
+    config = WorkloadConfig(
+        num_queries=num_queries, zipf_s=1.0, recent_bias=0.5, seed=7
+    )
 
     original_report = profile("workload on PRIVATE graph", private, config)
     synthetic_report = profile("workload on SYNTHETIC twin", synthetic, config)
@@ -64,4 +67,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

@@ -17,11 +17,12 @@ from repro.downstream import evaluate_augmentation
 from repro.metrics import spearman_correlation_mae
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
+    scale, epochs, aug_epochs = (0.012, 2, 3) if tiny else (0.02, 20, 30)
     # The proprietary guaranteed-loan network is simulated by its twin
     # (see DESIGN.md §4): directed guarantor->borrower edges, sparse,
     # no reciprocity, two co-evolving node attributes.
-    graph = load_dataset("guarantee", scale=0.02, seed=0)
+    graph = load_dataset("guarantee", scale=scale, seed=0)
     print(f"'private' loan network: {graph}")
 
     config = VRDAGConfig(
@@ -30,7 +31,7 @@ def main() -> None:
         hidden_dim=24, latent_dim=12, encode_dim=24, seed=0,
     )
     model = VRDAG(config)
-    VRDAGTrainer(model, TrainConfig(epochs=20)).fit(graph)
+    VRDAGTrainer(model, TrainConfig(epochs=epochs)).fit(graph)
     synthetic = model.generate(graph.num_timesteps, seed=7)
     print(f"shareable synthetic twin: {synthetic}")
 
@@ -42,12 +43,21 @@ def main() -> None:
 
     # downstream utility: forecast the final snapshot with/without the
     # synthetic sequence as augmentation
-    base = evaluate_augmentation(graph, None, epochs=30, seed=0)
-    augmented = evaluate_augmentation(graph, synthetic, epochs=30, seed=0)
+    base = evaluate_augmentation(graph, None, epochs=aug_epochs, seed=0)
+    augmented = evaluate_augmentation(
+        graph, synthetic, epochs=aug_epochs, seed=0
+    )
     print("future-snapshot forecasting (CoEvoGNN):")
     print(f"  no augmentation     F1={base.f1:.4f}  RMSE={base.rmse:.4f}")
     print(f"  VRDAG augmentation  F1={augmented.f1:.4f}  RMSE={augmented.rmse:.4f}")
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

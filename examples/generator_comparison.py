@@ -13,10 +13,11 @@ from repro.eval import default_generators, timed_fit_generate
 from repro.metrics import structure_metric_table
 
 
-def main() -> None:
-    graph = load_dataset("email", scale=0.03, seed=0)
+def main(tiny: bool = False) -> None:
+    scale, epochs = (0.012, 2) if tiny else (0.03, 15)
+    graph = load_dataset("email", scale=scale, seed=0)
     print(f"dataset: {graph}\n")
-    registry = default_generators(seed=0, epochs=15)
+    registry = default_generators(seed=0, epochs=epochs)
 
     header = (
         f"{'method':<8s} {'fit_s':>7s} {'gen_s':>7s} "
@@ -40,4 +41,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

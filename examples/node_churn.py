@@ -22,10 +22,11 @@ from repro.core import (
 from repro.datasets import load_dataset
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
+    scale, epochs = (0.015, 2) if tiny else (0.05, 15)
     # 1. Train on a twin of the Emails-DNC network — dense enough that
     #    per-snapshot isolation is a meaningful deletion signal.
-    graph = load_dataset("email", scale=0.05, seed=0)
+    graph = load_dataset("email", scale=scale, seed=0)
     print(f"observed graph: {graph}")
 
     config = VRDAGConfig(
@@ -37,7 +38,7 @@ def main() -> None:
         seed=0,
     )
     model = VRDAG(config)
-    VRDAGTrainer(model, TrainConfig(epochs=15)).fit(graph)
+    VRDAGTrainer(model, TrainConfig(epochs=epochs)).fit(graph)
 
     # 2. Fit the churn layer: learns the arrival rate and the p_ω
     #    hidden-state sampler for newly added nodes from the observed
@@ -72,4 +73,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

@@ -26,13 +26,14 @@ from repro.metrics import (
 )
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
+    scale, epochs = (0.012, 2) if tiny else (0.02, 20)
     # 1. The "private" network (guaranteed-loan twin).
-    private = load_dataset("guarantee", scale=0.02, seed=0)
+    private = load_dataset("guarantee", scale=scale, seed=0)
     print(f"private network (never leaves the bank): {private}")
 
     # 2. Train the generator and synthesize the releasable twin.
-    generator = make_vrdag(epochs=20, seed=0).fit(private)
+    generator = make_vrdag(epochs=epochs, seed=0).fit(private)
     synthetic = generator.generate(private.num_timesteps, seed=99)
     print(f"synthetic release candidate: {synthetic}")
 
@@ -69,4 +70,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

@@ -1,7 +1,7 @@
 """Quickstart: train VRDAG on a dynamic attributed graph and generate a
 synthetic twin.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--tiny]
 """
 
 from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
@@ -9,9 +9,10 @@ from repro.datasets import load_dataset
 from repro.metrics import attribute_jsd, structure_metric_table
 
 
-def main() -> None:
-    # 1. Load a dataset twin (Emails-DNC profile at 3% scale).
-    graph = load_dataset("email", scale=0.03, seed=0)
+def main(tiny: bool = False) -> None:
+    scale, epochs = (0.012, 2) if tiny else (0.03, 25)
+    # 1. Load a dataset twin (Emails-DNC profile).
+    graph = load_dataset("email", scale=scale, seed=0)
     print(f"observed graph: {graph}")
 
     # 2. Configure and train the model (Eq. 14's step-wise ELBO).
@@ -26,7 +27,7 @@ def main() -> None:
     )
     model = VRDAG(config)
     print(f"model parameters: {model.num_parameters()}")
-    result = VRDAGTrainer(model, TrainConfig(epochs=25, verbose=False)).fit(graph)
+    result = VRDAGTrainer(model, TrainConfig(epochs=epochs, verbose=False)).fit(graph)
     print(
         f"trained {result.epochs_run} epochs in {result.train_seconds:.1f}s, "
         f"loss {result.loss_history[0]:.2f} -> {result.final_loss:.2f}"
@@ -45,4 +46,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

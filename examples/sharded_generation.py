@@ -1,0 +1,77 @@
+"""Sharded generation: scale the structure decode across workers
+without changing a single edge.
+
+`repro.generation` partitions each timestep's MixBernoulli decode into
+contiguous node shards, each consuming a deterministic slice of the
+master RNG stream.  The contract this example demonstrates:
+
+* any shard count and any executor produce the *bit-identical* graph
+  that plain ``VRDAG.generate`` produces for the same seed;
+* per-shard decode work (the parallel critical path) shrinks as
+  shards are added — on a multi-core host, wall-clock follows it.
+
+Run:  python examples/sharded_generation.py [--tiny]
+"""
+
+import time
+
+from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.datasets import load_dataset
+from repro.generation import ShardPlan, generate_sharded
+
+
+def main(tiny: bool = False) -> None:
+    scale, epochs, timesteps = (0.012, 2, 3) if tiny else (0.04, 10, 8)
+    shard_counts = (1, 2) if tiny else (1, 2, 4, 8)
+
+    # 1. Train once.
+    graph = load_dataset("email", scale=scale, seed=0)
+    print(f"observed graph: {graph}")
+    config = VRDAGConfig(
+        num_nodes=graph.num_nodes,
+        num_attributes=graph.num_attributes,
+        hidden_dim=16, latent_dim=8, encode_dim=16, seed=0,
+    )
+    model = VRDAG(config)
+    VRDAGTrainer(model, TrainConfig(epochs=epochs, verbose=False)).fit(graph)
+
+    # 2. The unsharded reference rollout.
+    t0 = time.perf_counter()
+    reference = model.generate(timesteps, seed=7)
+    ref_s = time.perf_counter() - t0
+    print(f"VRDAG.generate: {reference}  ({ref_s:.3f}s)")
+
+    # 3. Shard-count sweep: identical output, shrinking shard work.
+    print(f"\n{'shards':>6s} {'executor':>9s} {'wall_s':>8s} {'identical':>10s}")
+    for n_shards in shard_counts:
+        for executor in ("serial", "thread"):
+            t0 = time.perf_counter()
+            generated = generate_sharded(
+                model, timesteps, seed=7,
+                n_shards=n_shards, executor=executor,
+            )
+            wall = time.perf_counter() - t0
+            same = generated.store == reference.store
+            print(
+                f"{n_shards:>6d} {executor:>9s} {wall:>8.3f} {str(same):>10s}"
+            )
+            assert same, "sharding must never change the sampled graph"
+
+    # 4. The plan is explicit and inspectable.
+    plan = ShardPlan.balanced(graph.num_nodes, shard_counts[-1])
+    print(f"\nshard plan for N={graph.num_nodes}: {plan.ranges()}")
+    print(
+        "determinism: the graph is a function of the seed alone — "
+        "shard count and executor are deployment knobs."
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

@@ -25,12 +25,14 @@ from repro.graph.streams import (
 )
 
 
-def build_bursty_stream(n: int = 60, seed: int = 0) -> InteractionStream:
+def build_bursty_stream(
+    n: int = 60, seed: int = 0, burst_size: int = 220
+) -> InteractionStream:
     """Three activity bursts with quiet gaps — email-like traffic."""
     rng = np.random.default_rng(seed)
     events = []
     for burst_start in (0.0, 40.0, 47.0):
-        times = burst_start + rng.exponential(0.08, size=220).cumsum()
+        times = burst_start + rng.exponential(0.08, size=burst_size).cumsum()
         hubs = rng.integers(0, 8, size=len(times))  # heavy-tailed senders
         dsts = rng.integers(0, n, size=len(times))
         for t, u, v in zip(times, hubs, dsts):
@@ -39,8 +41,9 @@ def build_bursty_stream(n: int = 60, seed: int = 0) -> InteractionStream:
     return InteractionStream(n, events)
 
 
-def main() -> None:
-    stream = build_bursty_stream()
+def main(tiny: bool = False) -> None:
+    n, burst_size, epochs = (24, 50, 2) if tiny else (60, 220, 15)
+    stream = build_bursty_stream(n=n, burst_size=burst_size)
     print(f"stream: {stream}")
     t_len = 10
 
@@ -66,7 +69,7 @@ def main() -> None:
         seed=0,
     )
     model = VRDAG(config)
-    result = VRDAGTrainer(model, TrainConfig(epochs=15)).fit(graph)
+    result = VRDAGTrainer(model, TrainConfig(epochs=epochs)).fit(graph)
     print(f"trained: loss {result.loss_history[0]:.2f} -> {result.final_loss:.2f}")
 
     # 3. Generate and expand back into a continuous-time stream view.
@@ -84,4 +87,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

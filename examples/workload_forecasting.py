@@ -23,8 +23,9 @@ from repro.datasets import load_dataset
 from repro.metrics import attribute_autocorrelation
 
 
-def main() -> None:
-    history = load_dataset("gdelt", scale=0.015, seed=0)
+def main(tiny: bool = False) -> None:
+    scale, epochs, horizon = (0.01, 2, 3) if tiny else (0.015, 15, 6)
+    history = load_dataset("gdelt", scale=scale, seed=0)
     print(f"observed history: {history}")
 
     config = VRDAGConfig(
@@ -33,9 +34,8 @@ def main() -> None:
         hidden_dim=24, latent_dim=12, encode_dim=24, seed=0,
     )
     model = VRDAG(config)
-    VRDAGTrainer(model, TrainConfig(epochs=15)).fit(history)
+    VRDAGTrainer(model, TrainConfig(epochs=epochs)).fit(history)
 
-    horizon = 6
     print(f"\nthree alternative {horizon}-step futures:")
     futures = []
     for seed in range(3):
@@ -65,4 +65,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

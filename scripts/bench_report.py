@@ -141,6 +141,8 @@ def bench_kernels(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     }
 
     out.update(bench_store(quick, repeats))
+    out.update(bench_generation(quick, repeats))
+    out.update(bench_ingest(quick, repeats))
 
     for entry in out.values():
         entry["speedup"] = (
@@ -238,6 +240,119 @@ def bench_store(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
         "vectorized_s": _best_of(metrics_store, repeats),
     }
     return out
+
+
+def bench_generation(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Sharded structure decode: scaling-vs-shards at generation scale.
+
+    One ``generation.sharded`` entry: ``reference_s`` is the monolithic
+    fused ``sample_edges`` decode, ``vectorized_s`` the best sharded
+    wall-clock across shard counts, and the ``shards`` sub-dict records
+    the full curve — serial wall-clock plus the *critical path* (the
+    slowest single shard, i.e. the parallel wall-clock an executor with
+    ``>= n_shards`` free cores approaches).  On single-core hosts
+    serial wall stays flat while the critical path shrinks ~1/k; on
+    multi-core hosts thread/process wall-clock tracks the critical
+    path.  Parity with the monolithic decode is asserted for every
+    shard count before timing.
+    """
+    from repro.generation import ShardPlan, ShardedStructureDecoder
+    from repro.generation.decode import (
+        PlainHead,
+        ShardTask,
+        decode_shard,
+        prepare_decode,
+    )
+
+    n = 400 if quick else 1200
+    shard_counts = (1, 2, 4) if quick else (1, 2, 4, 8)
+    rng = np.random.default_rng(11)
+    sampler = MixBernoulliSampler(36, num_components=3, rng=rng)
+    s = Tensor(rng.normal(size=(n, 36)))
+
+    def monolithic():
+        return sampler.sample_edges(s, np.random.default_rng(5))
+
+    ref_src, ref_dst = monolithic()
+    head = PlainHead.from_mlp(sampler.f_theta)
+    alpha, proj, block = prepare_decode(sampler, s)
+    state = np.random.default_rng(5).bit_generator.state
+
+    shards_curve: Dict[str, Dict[str, float]] = {}
+    for k in shard_counts:
+        plan = ShardPlan.balanced(n, k)
+        decoder = ShardedStructureDecoder(plan, executor="serial")
+
+        def sharded(decoder=decoder):
+            return decoder(sampler, s, np.random.default_rng(5))
+
+        src, dst = sharded()
+        assert np.array_equal(src, ref_src) and np.array_equal(
+            dst, ref_dst
+        ), f"sharded decode parity violated at n_shards={k}"
+        critical = max(
+            _best_of(
+                lambda t=ShardTask(
+                    lo, hi, n, sampler.num_components, head, proj,
+                    alpha[lo:hi], state, block,
+                ): decode_shard(t),
+                repeats,
+            )
+            for lo, hi in plan.ranges()
+        )
+        shards_curve[str(k)] = {
+            "wall_s": _best_of(sharded, repeats),
+            "critical_path_s": critical,
+        }
+
+    best_wall = min(e["wall_s"] for e in shards_curve.values())
+    return {
+        "generation.sharded": {
+            "n": n,
+            "edges": n * n,
+            "reference_s": _best_of(monolithic, repeats),
+            "vectorized_s": best_wall,
+            "shards": shards_curve,
+        }
+    }
+
+
+def bench_ingest(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Bounded-memory streaming ingestion vs bulk store construction.
+
+    ``reference_s`` is the one-shot canonicalization
+    (``TemporalEdgeStore(src, dst, t)``: full-stream lexsort),
+    ``vectorized_s`` the chunked :func:`ingest_stream` fold whose
+    transient working set is one chunk.  This entry tracks the *cost
+    of bounded memory* — the target is parity (speedup ≈ 1), not a
+    win; equality of the resulting stores is asserted before timing.
+    """
+    from repro.graph.streams import ingest_stream
+
+    n, t_len = 600, 10
+    m = 60_000 if quick else 240_000
+    chunk = 16_384
+    rng = np.random.default_rng(13)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    t = rng.integers(0, t_len, size=m)
+
+    def bulk():
+        return TemporalEdgeStore(n, t_len, src, dst, t)
+
+    def streaming():
+        return ingest_stream((src, dst, t), n, t_len, chunk_events=chunk)
+
+    assert streaming() == bulk(), "streaming ingest parity violated"
+    return {
+        "ingest.streaming": {
+            "n": n,
+            "edges": m,
+            "reference_s": _best_of(bulk, repeats),
+            "vectorized_s": _best_of(streaming, repeats),
+            "chunk_events": chunk,
+        }
+    }
 
 
 def bench_experiments(quick: bool) -> Dict[str, object]:

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Docs lint: every relative markdown link must resolve.
+
+Scans the repo's markdown surface (root ``*.md``, ``docs/``,
+``benchmarks/``) for ``[text](target)`` links and fails if a relative
+target does not exist on disk, or if a ``#fragment`` does not match a
+heading of the target file (GitHub-style slugs).  External links
+(``http(s)://``) are not fetched — CI must not depend on the network.
+
+Usage::
+
+    python scripts/check_docs.py            # check, exit 1 on breakage
+    python scripts/check_docs.py --list     # also print every link
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files that form the documentation surface.
+DOC_GLOBS = ("*.md", "docs/**/*.md", "benchmarks/**/*.md", "examples/**/*.md")
+
+#: Machine-generated reference material (paper/related-work dumps from
+#: the retrieval pipeline) — not hand-maintained documentation, may
+#: carry extraction artifacts like image links.
+EXCLUDE = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+#: ``[text](target)`` — good enough for our hand-written markdown
+#: (no nested brackets, no reference-style links in this repo).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced code blocks, stripped before link extraction so shell
+#: snippets like ``foo(bar)`` are not mistaken for links.
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _heading_slugs(path: Path) -> set:
+    """GitHub-style anchor slugs of every heading in ``path``."""
+    slugs = set()
+    for line in path.read_text().splitlines():
+        m = re.match(r"\s{0,3}(#{1,6})\s+(.*)", line)
+        if not m:
+            continue
+        text = re.sub(r"[`*_\[\]()]", "", m.group(2)).strip().lower()
+        slugs.add(re.sub(r"\s+", "-", re.sub(r"[^\w\s-]", "", text)))
+    return slugs
+
+
+def collect_links() -> List[Tuple[Path, str]]:
+    """All ``(source_file, target)`` markdown links in the doc surface."""
+    links = []
+    seen = set()
+    for glob in DOC_GLOBS:
+        for md in sorted(REPO.glob(glob)):
+            if md in seen or md.name in EXCLUDE:
+                continue
+            seen.add(md)
+            text = _FENCE_RE.sub("", md.read_text())
+            for target in _LINK_RE.findall(text):
+                links.append((md, target))
+    return links
+
+
+def check() -> List[str]:
+    """Return a list of human-readable breakage descriptions."""
+    errors = []
+    for md, target in collect_links():
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            md if not path_part else (md.parent / path_part).resolve()
+        )
+        rel = md.relative_to(REPO)
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _heading_slugs(resolved):
+                errors.append(
+                    f"{rel}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--list", action="store_true", help="print every link found"
+    )
+    args = parser.parse_args(argv)
+    links = collect_links()
+    if args.list:
+        for md, target in links:
+            print(f"{md.relative_to(REPO)} -> {target}")
+    errors = check()
+    for err in errors:
+        print(f"BROKEN  {err}", file=sys.stderr)
+    print(
+        f"checked {len(links)} links across the markdown surface: "
+        f"{len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,18 @@ __all__ = [
     "nn",
     "graph",
     "datasets",
+    "generation",
     "metrics",
     "workloads",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # repro.generation imports repro.core (the model); keeping it lazy
+    # here avoids paying the core import for graph/metrics-only users
+    if name == "generation":
+        import importlib
+
+        return importlib.import_module("repro.generation")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -8,7 +8,9 @@ Examples
     python -m repro.cli train --dataset email --scale 0.03 --epochs 25 \
         --model-out /tmp/vrdag_email.npz
     python -m repro.cli generate --model /tmp/vrdag_email.npz \
-        --timesteps 14 --out /tmp/synthetic.npz
+        --timesteps 14 --out /tmp/synthetic.npz --shards 4 --executor process
+    python -m repro.cli ingest --events /tmp/events.npz \
+        --out /tmp/graph.npz --memory-budget-mb 64
     python -m repro.cli experiment --name table1 --dataset email
 """
 
@@ -68,6 +70,28 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--timesteps", type=int, required=True)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True)
+    gen.add_argument(
+        "--shards", type=int, default=1,
+        help="node shards for the structure decode (seed-deterministic: "
+        "any shard count yields the identical graph)",
+    )
+    gen.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default="serial", help="how shards are executed",
+    )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="fold a raw (src, dst, t) event log into a canonical "
+        "columnar graph archive under a memory budget",
+    )
+    ingest.add_argument("--events", required=True,
+                        help="event-log npz written by graph.io.save_events")
+    ingest.add_argument("--out", required=True)
+    ingest.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="bound on the transient canonicalization working set",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("--name", required=True, choices=sorted(_EXPERIMENTS))
@@ -115,10 +139,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "generate":
+        from repro.generation import generate_sharded
+
         model = load_model(args.model)
-        synthetic = model.generate(args.timesteps, seed=args.seed)
+        synthetic = generate_sharded(
+            model,
+            args.timesteps,
+            seed=args.seed,
+            n_shards=args.shards,
+            executor=args.executor,
+        )
         graph_io.save(synthetic, args.out)
         print(f"generated {synthetic} -> {args.out}")
+        return 0
+
+    if args.command == "ingest":
+        budget = (
+            int(args.memory_budget_mb * 1024 * 1024)
+            if args.memory_budget_mb is not None
+            else None
+        )
+        graph = graph_io.load(args.events, memory_budget_bytes=budget)
+        graph_io.save(graph, args.out)
+        print(f"ingested {graph} -> {args.out}")
         return 0
 
     if args.command == "experiment":

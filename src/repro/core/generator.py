@@ -130,7 +130,9 @@ class MixBernoulliSampler(Module):
     ``θ_{k,i,j} = σ(f_θ(s_i - s_j))``.  With K > 1 edges within a row
     are *not* independent — the mixture couples them — yet all rows can
     be computed in parallel, unlike fully autoregressive decoders
-    (GRAN/GraphRNN).
+    (GRAN/GraphRNN).  ``repro.generation`` exploits exactly this row
+    independence to shard the decode across workers with bit-identical
+    output.
     """
 
     def __init__(
@@ -360,7 +362,10 @@ class MixBernoulliSampler(Module):
         :meth:`_reference_sample` exactly; θ agrees with the reference
         to within a few ulp (reassociated first layer), so both paths
         produce the same graphs from identical generator states except
-        with vanishing probability.
+        with vanishing probability.  Because each float64 uniform
+        consumes exactly one PCG64 step, rows ``[lo, hi)`` own a known
+        contiguous window of the stream — the invariant
+        ``repro.generation`` slices to decode shards bit-identically.
         """
         s_np = np.asarray(s.data if isinstance(s, Tensor) else s, dtype=np.float64)
         n = s_np.shape[0]
@@ -402,7 +407,13 @@ class MixBernoulliSampler(Module):
         rng: np.random.Generator,
         block_size: Optional[int] = None,
     ) -> np.ndarray:
-        """Draw an adjacency matrix (dense wrapper over :meth:`sample_edges`)."""
+        """Draw one adjacency sample as a dense ``(N, N)`` 0/1 matrix.
+
+        Convenience wrapper over :meth:`sample_edges` for tests and
+        benches; generation paths consume the edge columns directly
+        (``VRDAG.generate`` streams them into a store builder and
+        never materializes this matrix).
+        """
         n = (s.data if isinstance(s, Tensor) else np.asarray(s)).shape[0]
         src, dst = self.sample_edges(s, rng, block_size)
         adj = np.zeros((n, n))

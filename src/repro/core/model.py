@@ -4,7 +4,7 @@ Algorithm 1 inference."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -382,7 +382,11 @@ class VRDAG(Module):
     # inference (Algorithm 1)
     # ------------------------------------------------------------------
     def generate(
-        self, num_timesteps: int, seed: Optional[int] = None
+        self,
+        num_timesteps: int,
+        seed: Optional[int] = None,
+        *,
+        structure_decoder: Optional[Callable] = None,
     ) -> DynamicAttributedGraph:
         """Generate a fresh dynamic attributed graph from scratch.
 
@@ -395,10 +399,22 @@ class VRDAG(Module):
         matrix the encoder/GAT consume (reused across steps), so peak
         structural memory is O(M + N²) transient — never an O(N²·T)
         snapshot stack — and the returned graph is store-backed.
+
+        ``structure_decoder`` swaps the per-step structure decode: a
+        callable ``(sampler, s, rng) -> (src, dst)`` returning
+        CSR-ordered int64 edge columns for the step, and consuming
+        ``rng`` exactly as :meth:`MixBernoulliSampler.sample_edges`
+        would (one ``(N, 1)`` plus one ``(N, N)`` uniform draw).
+        ``repro.generation.ShardedStructureDecoder`` plugs in here to
+        run the decode across shards bit-identically; ``None`` uses
+        the in-process fused decode.
         """
         if num_timesteps < 1:
             raise ValueError("num_timesteps must be >= 1")
         cfg = self.config
+        decode_structure = structure_decoder or (
+            lambda sampler, s, step_rng: sampler.sample_edges(s, step_rng)
+        )
         rng = np.random.default_rng(seed if seed is not None else cfg.seed + 12345)
         builder = TemporalEdgeStoreBuilder(cfg.num_nodes, cfg.num_attributes)
         adj_scratch = np.zeros((cfg.num_nodes, cfg.num_nodes))
@@ -420,7 +436,7 @@ class VRDAG(Module):
                 z_eps = z_state.step(p.mu.shape, rng)
                 z = Tensor(p.mu.data + p.sigma.data * z_eps)
                 s = F.concat([z, h], axis=1)
-                src, dst = self.structure_sampler.sample_edges(s, rng)  # line 4
+                src, dst = decode_structure(self.structure_sampler, s, rng)  # line 4
                 adj_scratch[:] = 0.0
                 if src.size:
                     adj_scratch[src, dst] = 1.0

@@ -1,0 +1,56 @@
+"""Sharded, streaming-friendly generation on the columnar edge-store.
+
+``repro.generation`` scales :meth:`VRDAG.generate
+<repro.core.model.VRDAG.generate>` from one monolithic in-process
+decode to a partitioned one: the node rows of each timestep's
+MixBernoulli structure decode are split into contiguous shards, each
+shard samples its adjacency rows from a deterministic slice of the
+master RNG stream, and the per-shard edge columns merge back into one
+:class:`~repro.graph.store.TemporalEdgeStoreBuilder` in canonical
+order.  Shard count and executor (serial / thread pool / process
+pool) are pure deployment knobs — every configuration produces the
+same graph bit-for-bit for a given seed.
+
+Public API
+----------
+:func:`generate_sharded`
+    One-call sharded rollout of a trained model.
+:class:`ShardedStructureDecoder`
+    The reusable ``structure_decoder`` hook (pool lifecycle included).
+:class:`ShardPlan`
+    Balanced contiguous row partitions.
+:func:`merge_step_columns` / :func:`merge_canonical_runs`
+    Vectorized merging of per-shard / per-chunk edge columns.
+
+Design notes and determinism guarantees: ``docs/architecture.md``.
+"""
+
+from repro.generation.decode import PlainHead, ShardTask, decode_shard, prepare_decode
+from repro.generation.merge import merge_canonical_runs, merge_step_columns
+from repro.generation.runner import (
+    EXECUTORS,
+    ShardedStructureDecoder,
+    generate_sharded,
+)
+from repro.generation.sharding import (
+    ShardPlan,
+    advance_past_decode,
+    decode_draw_count,
+    sliced_generator,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "PlainHead",
+    "ShardPlan",
+    "ShardTask",
+    "ShardedStructureDecoder",
+    "advance_past_decode",
+    "decode_draw_count",
+    "decode_shard",
+    "generate_sharded",
+    "merge_canonical_runs",
+    "merge_step_columns",
+    "prepare_decode",
+    "sliced_generator",
+]

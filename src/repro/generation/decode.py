@@ -1,0 +1,205 @@
+"""Shard-local MixBernoulli decoding on plain, picklable arrays.
+
+A shard evaluates the θ head for its row range ``[lo, hi)`` against
+all ``N`` destination columns and samples that range's adjacency rows.
+Process-pool workers cannot cheaply receive autodiff modules, so the
+head is mirrored into :class:`PlainHead` — bare weight/bias ndarrays
+with the same attribute layout the fused kernels in
+``repro.core.generator`` traverse — and the whole shard's work is
+packed into one :class:`ShardTask` (everything a worker needs,
+picklable, no model object).
+
+Numerics are byte-for-byte those of
+:meth:`~repro.core.generator.MixBernoulliSampler.sample_edges`: the
+same row-blocked pairwise kernel, the same inverse-CDF component draw,
+and RNG slices of the same master stream (see
+``repro.generation.sharding``), so a shard's ``(src, dst)`` output
+equals the corresponding row range of the monolithic decode exactly.
+Per-shard peak memory is the ``(block, N)`` pairwise working set —
+never an ``(N, N)`` buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.core.generator import (
+    MixBernoulliSampler,
+    _first_layer_projection,
+    _np_sigmoid,
+    _pairwise_head_block,
+)
+from repro.generation.sharding import sliced_generator
+
+__all__ = ["PlainHead", "ShardTask", "decode_shard", "prepare_decode"]
+
+
+class _PlainParam:
+    """Bare ndarray with the ``.data`` attribute the kernels expect."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray):
+        self.data = data
+
+
+class _PlainLayer:
+    """Weight/bias pair mirroring ``repro.nn.Linear``'s attribute layout."""
+
+    __slots__ = ("weight", "bias")
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]):
+        self.weight = _PlainParam(weight)
+        self.bias = None if bias is None else _PlainParam(bias)
+
+
+class PlainHead:
+    """Picklable mirror of an ``repro.nn.MLP``: layers + activation names.
+
+    Exposes exactly the attributes
+    :func:`repro.core.generator._pairwise_head_block` traverses
+    (``layers[i].weight.data``, ``layers[i].bias.data``,
+    ``activation``, ``out_activation``), so the fused pairwise kernel
+    runs unmodified on either representation.
+    """
+
+    __slots__ = ("layers", "activation", "out_activation")
+
+    def __init__(self, layers, activation: str, out_activation: str):
+        self.layers = layers
+        self.activation = activation
+        self.out_activation = out_activation
+
+    @classmethod
+    def from_mlp(cls, mlp) -> "PlainHead":
+        """Snapshot an MLP's parameters into plain arrays (no copy)."""
+        layers = [
+            _PlainLayer(
+                layer.weight.data,
+                None if layer.bias is None else layer.bias.data,
+            )
+            for layer in mlp.layers
+        ]
+        return cls(layers, mlp.activation, mlp.out_activation)
+
+    def __getstate__(self):
+        return (
+            [(l.weight.data, None if l.bias is None else l.bias.data)
+             for l in self.layers],
+            self.activation,
+            self.out_activation,
+        )
+
+    def __setstate__(self, state):
+        raw, activation, out_activation = state
+        self.layers = [_PlainLayer(w, b) for w, b in raw]
+        self.activation = activation
+        self.out_activation = out_activation
+
+
+@dataclass
+class ShardTask:
+    """Everything one shard needs to decode rows ``[lo, hi)``.
+
+    Fields
+    ------
+    lo, hi:
+        The shard's row range within ``[0, N)``.
+    num_nodes:
+        Destination-column count ``N``.
+    num_components:
+        Mixture size ``K``.
+    head:
+        :class:`PlainHead` mirror of the θ MLP.
+    proj:
+        ``(N, h)`` float64 first-layer projection of the node states
+        (shared by every shard; the pairwise kernel needs all columns).
+    alpha:
+        ``(hi - lo, K)`` float64 normalized mixing weights for the
+        shard's rows.
+    rng_state:
+        Master PCG64 ``bit_generator.state`` captured before the
+        decode; the shard derives its stream slices from it.
+    block:
+        Row-block height for the pairwise working set.
+    """
+
+    lo: int
+    hi: int
+    num_nodes: int
+    num_components: int
+    head: PlainHead
+    proj: np.ndarray
+    alpha: np.ndarray
+    rng_state: dict
+    block: int
+
+
+def decode_shard(task: ShardTask) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample the adjacency rows of one shard.
+
+    Returns ``(src, dst)`` int64 columns in CSR order with absolute
+    row indices — the exact sub-columns the monolithic
+    ``sample_edges`` would emit for rows ``[lo, hi)``.
+    """
+    lo, hi, n = task.lo, task.hi, task.num_nodes
+    rows_here = hi - lo
+    if rows_here <= 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    # component draw: rows [lo, hi) of the master's (N, 1) uniform block
+    u = sliced_generator(task.rng_state, lo).random((rows_here, 1))
+    cdf = np.cumsum(task.alpha, axis=1)
+    components = (u > cdf).sum(axis=1).clip(0, task.num_components - 1)
+    # edge draw: rows [lo, hi) of the master's (N, N) uniform block,
+    # drawn incrementally per row block (rows are contiguous in the
+    # stream, so chunked draws match the monolithic bulk draw exactly)
+    edge_gen = sliced_generator(task.rng_state, n + lo * n)
+    srcs: List[np.ndarray] = []
+    dsts: List[np.ndarray] = []
+    for blo in range(lo, hi, task.block):
+        bhi = min(blo + task.block, hi)
+        edge_u = edge_gen.random((bhi - blo, n))
+        theta = _np_sigmoid(
+            _pairwise_head_block(task.head, task.proj, blo, bhi)
+        ).reshape(bhi - blo, n, task.num_components)
+        row_theta = np.take_along_axis(
+            theta, components[blo - lo:bhi - lo, None, None], axis=2
+        )[:, :, 0]
+        hit = edge_u < row_theta
+        diag = np.arange(blo, bhi)
+        hit[diag - blo, diag] = False
+        rows, cols = np.nonzero(hit)
+        srcs.append(rows.astype(np.int64) + blo)
+        dsts.append(cols.astype(np.int64))
+    return (
+        np.concatenate(srcs) if srcs else np.zeros(0, np.int64),
+        np.concatenate(dsts) if dsts else np.zeros(0, np.int64),
+    )
+
+
+def prepare_decode(
+    sampler: MixBernoulliSampler,
+    s,
+    block_size: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Coordinator-side prologue shared by every shard.
+
+    Computes the ``(N, K)`` normalized mixing weights α (closed-form
+    O(N log N) pooling when the head admits it) and the ``(N, h)``
+    θ-head first-layer projection — the only O(N·d·h) matmul of the
+    decode, done once rather than once per shard.  Returns
+    ``(alpha, proj, block)``.
+    """
+    s_np = np.asarray(
+        s.data if isinstance(s, Tensor) else s, dtype=np.float64
+    )
+    n = s_np.shape[0]
+    block = sampler._decode_block_rows(n, block_size)
+    alpha = sampler._mixture_weights_np(s_np, block)
+    alpha = alpha / alpha.sum(axis=1, keepdims=True)
+    proj = _first_layer_projection(sampler.f_theta, s_np)
+    return alpha, proj, block

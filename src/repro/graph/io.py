@@ -1,15 +1,25 @@
 """Persistence for dynamic attributed graphs (compressed ``.npz``).
 
-Format version 2 serializes the canonical columnar store — edge
-columns ``(src, dst, t)`` plus the ``(T, N, F)`` attribute block — so
-files are O(M + N·F·T) instead of the version-1 dense O(N²·T)
-adjacency stack.  Version-1 archives are still readable.
+Two archive kinds share the ``.npz`` container:
+
+* **Graph archives** (:func:`save` / :func:`load`) — format version 2
+  serializes the canonical columnar store: edge columns
+  ``(src, dst, t)`` plus the ``(T, N, F)`` attribute block, O(M +
+  N·F·T) instead of the version-1 dense O(N²·T) adjacency stack.
+  Version-1 archives are still readable.
+* **Event logs** (:func:`save_events`) — raw, *unsorted, possibly
+  duplicated* ``(src, dst, t)`` event columns as a producer emitted
+  them.  :func:`load` recognizes them and reconstructs the canonical
+  store through the bounded-memory streaming ingestion path
+  (:func:`repro.graph.streams.ingest_stream`): canonicalization runs
+  chunk by chunk under ``memory_budget_bytes``, never a full-stream
+  sort.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -17,6 +27,7 @@ from repro.graph.dynamic import DynamicAttributedGraph
 from repro.graph.store import TemporalEdgeStore
 
 _FORMAT_VERSION = 2
+_EVENTS_FORMAT_VERSION = 1
 
 
 def save(graph: DynamicAttributedGraph, path: Union[str, os.PathLike]) -> None:
@@ -34,9 +45,77 @@ def save(graph: DynamicAttributedGraph, path: Union[str, os.PathLike]) -> None:
     )
 
 
-def load(path: Union[str, os.PathLike]) -> DynamicAttributedGraph:
-    """Read a graph previously written by :func:`save` (v1 or v2)."""
-    with np.load(path) as data:
+def save_events(
+    path: Union[str, os.PathLike],
+    src,
+    dst,
+    t,
+    num_nodes: int,
+    num_timesteps: int,
+    attributes: Optional[np.ndarray] = None,
+) -> None:
+    """Write a raw temporal event log (unsorted columns, duplicates kept).
+
+    The write-optimized sibling of :func:`save`: producers append
+    events in arrival order with no canonicalization cost; the sort,
+    self-loop drop and dedup are deferred to :func:`load`'s chunked
+    streaming ingestion.  ``attributes`` is an optional ``(T, N, F)``
+    block stored verbatim.
+    """
+    src = np.asarray(src, dtype=np.int64).reshape(-1)
+    dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+    t = np.asarray(t, dtype=np.int64).reshape(-1)
+    if not (src.size == dst.size == t.size):
+        raise ValueError(
+            f"column lengths differ: {src.size}/{dst.size}/{t.size}"
+        )
+    payload = dict(
+        kind=np.array("events"),
+        version=np.array(_EVENTS_FORMAT_VERSION),
+        num_nodes=np.array(int(num_nodes)),
+        num_timesteps=np.array(int(num_timesteps)),
+        src=src,
+        dst=dst,
+        t=t,
+    )
+    if attributes is not None:
+        payload["attributes"] = np.asarray(attributes, dtype=np.float64)
+    np.savez_compressed(path, **payload)
+
+
+def load(
+    path: Union[str, os.PathLike],
+    *,
+    memory_budget_bytes: Optional[int] = None,
+) -> DynamicAttributedGraph:
+    """Read a graph archive (v1 dense, v2 columnar) or an event log.
+
+    Event logs (written by :func:`save_events`) are folded into the
+    canonical store with
+    :func:`repro.graph.streams.ingest_stream`; ``memory_budget_bytes``
+    bounds the transient canonicalization working set (default: one
+    64k-event chunk).  For graph archives the parameter is ignored —
+    the columns are already canonical.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        if "kind" in data and str(data["kind"]) == "events":
+            version = int(data["version"])
+            if version != _EVENTS_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported event-log file version {version}"
+                )
+            from repro.graph.streams import ingest_stream
+
+            store = ingest_stream(
+                (data["src"], data["dst"], data["t"]),
+                int(data["num_nodes"]),
+                int(data["num_timesteps"]),
+                memory_budget_bytes=memory_budget_bytes,
+                attributes=(
+                    data["attributes"] if "attributes" in data else None
+                ),
+            )
+            return DynamicAttributedGraph.from_store(store)
         version = int(data["version"])
         if version == 1:
             adjacency = data["adjacency"].astype(np.float64)

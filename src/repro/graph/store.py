@@ -21,6 +21,13 @@ layer:
   store-backed snapshot, or :meth:`TemporalEdgeStore.dense_adjacency`)
   increments a process-global counter, so tests and the eval harness
   can assert that migrated paths never fall back to dense views.
+* :func:`merge_canonical_runs` — vectorized k-way merge of
+  canonically-sorted column runs from independent producers
+  (generation shards, streaming-ingestion chunks).
+
+The prose version of this contract — memory model, adapter tiers,
+and how sharded generation and streaming ingestion build on the
+store — lives in ``docs/architecture.md``.
 
 View/adapter contract for new consumers
 ---------------------------------------
@@ -52,6 +59,7 @@ from repro.graph.snapshot import GraphSnapshot
 __all__ = [
     "TemporalEdgeStore",
     "TemporalEdgeStoreBuilder",
+    "merge_canonical_runs",
     "track_dense_materializations",
     "dense_materialization_count",
 ]
@@ -117,8 +125,122 @@ def _check_endpoint_range(
         raise ValueError("edge endpoints out of range")
 
 
+def _composite_keys(
+    src: np.ndarray, dst: np.ndarray, t: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Strictly-increasing ``((t·N) + src)·N + dst`` keys of canonical runs."""
+    return (t * num_nodes + src) * num_nodes + dst
+
+
+def _canonicalize_columns(
+    src: np.ndarray, dst: np.ndarray, t: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The store's canonical form of raw ``(src, dst, t)`` columns.
+
+    Drops self-loops, sorts by ``(t, src, dst)`` and removes duplicate
+    temporal edges — the single definition every producer
+    (``TemporalEdgeStore``, streaming ingestion chunks) shares, so
+    independently-built stores can never disagree on canonical order.
+    """
+    keep = src != dst
+    if not keep.all():
+        src, dst, t = src[keep], dst[keep], t[keep]
+    order = np.lexsort((dst, src, t))
+    src, dst, t = src[order], dst[order], t[order]
+    if src.size:
+        # composite (t, src, dst) keys are now sorted, so duplicates
+        # are adjacent: one diff pass removes them
+        key = _composite_keys(src, dst, t, num_nodes)
+        fresh = np.ones(src.size, dtype=bool)
+        fresh[1:] = key[1:] != key[:-1]
+        if not fresh.all():
+            src, dst, t = src[fresh], dst[fresh], t[fresh]
+    return src, dst, t
+
+
+def _merge_two_runs(
+    a: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    b: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    num_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized stable merge of two canonically-sorted column runs.
+
+    O(|a| + |b| + searchsorted): every element's merged position is
+    computed in two ``np.searchsorted`` calls — run ``a``'s elements
+    land before equal-keyed elements of ``b`` — then both runs scatter
+    into the output in one fancy-indexed assignment each.  No sort.
+    """
+    ka = _composite_keys(*a, num_nodes)
+    kb = _composite_keys(*b, num_nodes)
+    pos_a = np.arange(ka.size, dtype=np.int64) + np.searchsorted(
+        kb, ka, side="left"
+    )
+    pos_b = np.arange(kb.size, dtype=np.int64) + np.searchsorted(
+        ka, kb, side="right"
+    )
+    total = ka.size + kb.size
+    out = tuple(np.empty(total, dtype=np.int64) for _ in range(3))
+    for col_out, col_a, col_b in zip(out, a, b):
+        col_out[pos_a] = col_a
+        col_out[pos_b] = col_b
+    return out
+
+
+def merge_canonical_runs(
+    runs: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    num_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized k-way merge of canonically-sorted ``(src, dst, t)`` runs.
+
+    Each run must already satisfy the store invariants *internally*
+    (sorted by ``(t, src, dst)``, loop-free, deduplicated within the
+    run); runs may overlap arbitrarily in key range.  Runs are merged
+    pairwise smallest-first (a tournament, O(M log k) total), then one
+    diff pass collapses duplicates *across* runs.  Returns int64
+    ``(src, dst, t)`` columns ready for
+    ``TemporalEdgeStore(..., canonical=True)``.
+
+    This is the merge kernel behind both sharded generation (merging
+    per-shard edge columns) and streaming ingestion (merging
+    canonicalized chunks under a memory budget).
+    """
+    pending = [
+        tuple(np.asarray(c, dtype=np.int64).reshape(-1) for c in run)
+        for run in runs
+        if np.asarray(run[0]).size
+    ]
+    if not pending:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    pending.sort(key=lambda run: run[0].size, reverse=True)
+    while len(pending) > 1:
+        a = pending.pop()
+        b = pending.pop()
+        pending.append(_merge_two_runs(a, b, num_nodes))
+        pending.sort(key=lambda run: run[0].size, reverse=True)
+    src, dst, t = pending[0]
+    if src.size:
+        key = _composite_keys(src, dst, t, num_nodes)
+        fresh = np.ones(src.size, dtype=bool)
+        fresh[1:] = key[1:] != key[:-1]
+        if not fresh.all():
+            src, dst, t = src[fresh], dst[fresh], t[fresh]
+    return src, dst, t
+
+
 class TemporalEdgeStore:
     """Columnar CSR-backed store for one dynamic attributed graph.
+
+    Attributes (all shared, treat as immutable)
+    -------------------------------------------
+    ``src``, ``dst``, ``t``:
+        Parallel ``(M,)`` int64 columns sorted by ``(t, src, dst)``,
+        loop-free, deduplicated.
+    ``offsets``:
+        ``(T + 1,)`` int64; timestep ``t`` owns columns
+        ``[offsets[t], offsets[t + 1])``.
+    ``attributes``:
+        ``(T, N, F)`` float64 block (``F = 0`` when absent).
 
     Parameters
     ----------
@@ -182,19 +304,7 @@ class TemporalEdgeStore:
             if t.min() < 0 or t.max() >= self.num_timesteps:
                 raise ValueError("edge timesteps out of range")
         if not canonical:
-            keep = src != dst
-            if not keep.all():
-                src, dst, t = src[keep], dst[keep], t[keep]
-            order = np.lexsort((dst, src, t))
-            src, dst, t = src[order], dst[order], t[order]
-            if src.size:
-                # composite (t, src, dst) keys are now sorted, so
-                # duplicates are adjacent: one diff pass removes them
-                key = (t * self.num_nodes + src) * self.num_nodes + dst
-                fresh = np.ones(src.size, dtype=bool)
-                fresh[1:] = key[1:] != key[:-1]
-                if not fresh.all():
-                    src, dst, t = src[fresh], dst[fresh], t[fresh]
+            src, dst, t = _canonicalize_columns(src, dst, t, self.num_nodes)
         self.src = src
         self.dst = dst
         self.t = t

@@ -24,6 +24,16 @@ The inverse direction (snapshots back to a stream with synthetic
 within-window timestamps) is provided by :func:`to_stream`, which the
 efficiency benches use to hand walk-based baselines the event view
 they natively consume.
+
+For event volumes that should never be resident at once, the
+*streaming ingestion* path (:class:`StreamingStoreBuilder`,
+:func:`ingest_stream`) folds arbitrarily long integer-timestep
+``(src, dst, t)`` event streams into a canonical
+:class:`~repro.graph.store.TemporalEdgeStore` under a configurable
+memory budget: events accumulate in fixed-size column chunks, each
+full chunk is canonicalized (self-loop drop, sort, dedup) and merged
+into tiered sorted runs with the vectorized merge kernel — the
+transient working set is one chunk, never the whole stream.
 """
 
 from __future__ import annotations
@@ -35,7 +45,12 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.dynamic import DynamicAttributedGraph
-from repro.graph.store import TemporalEdgeStoreBuilder
+from repro.graph.store import (
+    TemporalEdgeStore,
+    TemporalEdgeStoreBuilder,
+    _canonicalize_columns,
+    merge_canonical_runs,
+)
 from repro.graph.temporal import TemporalEdgeList
 
 #: One timestamped directed interaction: (src, dst, time).
@@ -380,6 +395,257 @@ def to_stream(
         )
     ]
     return InteractionStream(graph.num_nodes, events)
+
+
+# ----------------------------------------------------------------------
+# Bounded-memory streaming ingestion
+# ----------------------------------------------------------------------
+
+#: Approximate transient bytes per buffered event while a chunk is
+#: canonicalized: three int64 columns (24) + composite sort key (8) +
+#: lexsort order array (8) + sorted column copies (24).
+_BYTES_PER_EVENT = 64
+
+#: Floor on the derived chunk size — below this the per-chunk numpy
+#: call overhead dominates and the merge tier count explodes.
+_MIN_CHUNK_EVENTS = 256
+
+
+class StreamingStoreBuilder:
+    """Fold an unbounded ``(src, dst, t)`` event stream into a store.
+
+    The spill-free counterpart of
+    :class:`~repro.graph.store.TemporalEdgeStoreBuilder` for producers
+    that deliver events in arbitrary order and volume (ingestion
+    pipelines, logs, generators running elsewhere).  Events accumulate
+    in a fixed-size column chunk; each full chunk is canonicalized
+    (self-loop drop, ``(t, src, dst)`` sort, dedup) in O(C log C) and
+    merged into *tiered sorted runs*: a new run is merged with its
+    neighbour whenever the neighbour is less than twice its size, so
+    at most O(log(M / C)) runs exist at any time and total merge work
+    is O(M log(M / C)) — never a full-stream sort, never more than one
+    chunk of unsorted data resident.
+
+    Parameters
+    ----------
+    num_nodes, num_timesteps:
+        The store's fixed universe ``N`` and sequence length ``T``;
+        endpoints and timesteps are range-checked on arrival.
+    chunk_events:
+        Events per chunk (the bounded working set).  Default 65536.
+    memory_budget_bytes:
+        Alternative sizing: the chunk is sized so its transient
+        canonicalization working set (~64 bytes/event — columns, sort
+        key, order array, sorted copies) stays under the budget.
+        Overrides ``chunk_events``.
+
+    ``build()`` may be called at any point — it compacts the runs into
+    one and returns a store sharing those columns; ingestion can
+    continue afterwards and ``build()`` again later.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_timesteps: int,
+        *,
+        chunk_events: int = 65536,
+        memory_budget_bytes: Optional[int] = None,
+    ):
+        self.num_nodes = int(num_nodes)
+        self.num_timesteps = int(num_timesteps)
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.num_timesteps < 1:
+            raise ValueError("num_timesteps must be >= 1")
+        if memory_budget_bytes is not None:
+            if memory_budget_bytes <= 0:
+                raise ValueError("memory_budget_bytes must be positive")
+            chunk_events = memory_budget_bytes // _BYTES_PER_EVENT
+        self.chunk_events = max(int(chunk_events), _MIN_CHUNK_EVENTS)
+        self._buf: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._buffered = 0
+        self._scalar_buf: List[Tuple[int, int, int]] = []
+        # canonical sorted runs, largest first (LSM-style tiers)
+        self._runs: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self.events_ingested = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_runs(self) -> int:
+        """Current number of sorted runs (O(log(M / chunk)) by design)."""
+        return len(self._runs)
+
+    @property
+    def num_buffered(self) -> int:
+        """Events waiting in the unsorted chunk buffer."""
+        return self._buffered + len(self._scalar_buf)
+
+    def add(self, u: int, v: int, t: int) -> None:
+        """Ingest one event (range-checked; self-loops dropped at seal)."""
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise ValueError(f"event endpoints ({u}, {v}) out of range")
+        if not 0 <= t < self.num_timesteps:
+            raise ValueError(
+                f"timestep {t} out of range 0..{self.num_timesteps - 1}"
+            )
+        self._scalar_buf.append((int(u), int(v), int(t)))
+        self.events_ingested += 1
+        if len(self._scalar_buf) >= min(self.chunk_events, 4096):
+            self._flush_scalars()
+            if self._buffered >= self.chunk_events:
+                self._seal_chunk()
+
+    def extend(self, src, dst, t) -> None:
+        """Ingest a batch of parallel ``(src, dst, t)`` columns.
+
+        The batch is validated vectorized, then absorbed in
+        chunk-sized slices — a batch larger than the chunk never
+        inflates the working set.
+        """
+        src = np.asarray(src, dtype=np.int64).reshape(-1)
+        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        t = np.asarray(t, dtype=np.int64).reshape(-1)
+        if not (src.size == dst.size == t.size):
+            raise ValueError(
+                f"column lengths differ: {src.size}/{dst.size}/{t.size}"
+            )
+        if src.size == 0:
+            return
+        if (
+            min(src.min(), dst.min()) < 0
+            or max(src.max(), dst.max()) >= self.num_nodes
+        ):
+            raise ValueError("event endpoints out of range")
+        if t.min() < 0 or t.max() >= self.num_timesteps:
+            raise ValueError(
+                f"timesteps out of range 0..{self.num_timesteps - 1}"
+            )
+        self._flush_scalars()
+        if self._buffered >= self.chunk_events:
+            self._seal_chunk()
+        pos = 0
+        while pos < src.size:
+            take = min(self.chunk_events - self._buffered, src.size - pos)
+            self._buf.append(
+                (src[pos:pos + take], dst[pos:pos + take], t[pos:pos + take])
+            )
+            self._buffered += take
+            self.events_ingested += take
+            pos += take
+            if self._buffered >= self.chunk_events:
+                self._seal_chunk()
+
+    # ------------------------------------------------------------------
+    def _flush_scalars(self) -> None:
+        if not self._scalar_buf:
+            return
+        arr = np.asarray(self._scalar_buf, dtype=np.int64).reshape(-1, 3)
+        self._scalar_buf.clear()
+        self._buf.append((arr[:, 0], arr[:, 1], arr[:, 2]))
+        self._buffered += arr.shape[0]
+
+    def _seal_chunk(self) -> None:
+        """Canonicalize the buffered chunk and fold it into the tiers."""
+        if not self._buf:
+            return
+        src = np.concatenate([b[0] for b in self._buf])
+        dst = np.concatenate([b[1] for b in self._buf])
+        t = np.concatenate([b[2] for b in self._buf])
+        self._buf.clear()
+        self._buffered = 0
+        src, dst, t = _canonicalize_columns(src, dst, t, self.num_nodes)
+        if not src.size:
+            return
+        self._runs.append((src, dst, t))
+        # tiered compaction: merge neighbours while the run above is
+        # not at least twice this run's size (amortized O(M log(M/C)))
+        while (
+            len(self._runs) >= 2
+            and self._runs[-2][0].size < 2 * self._runs[-1][0].size
+        ):
+            b = self._runs.pop()
+            a = self._runs.pop()
+            self._runs.append(merge_canonical_runs([a, b], self.num_nodes))
+
+    # ------------------------------------------------------------------
+    def build(
+        self, attributes: Optional[np.ndarray] = None
+    ) -> TemporalEdgeStore:
+        """Compact all runs and return the canonical store.
+
+        ``attributes`` is an optional ``(T, N, F)`` block attached
+        verbatim (validated by the store).  The builder stays usable:
+        the compacted columns become its single run, and further
+        ingestion merges against them.
+        """
+        self._flush_scalars()
+        self._seal_chunk()
+        if len(self._runs) > 1:
+            self._runs = [merge_canonical_runs(self._runs, self.num_nodes)]
+        if self._runs:
+            src, dst, t = self._runs[0]
+        else:
+            src = dst = t = np.zeros(0, dtype=np.int64)
+        return TemporalEdgeStore(
+            self.num_nodes,
+            self.num_timesteps,
+            src,
+            dst,
+            t,
+            attributes,
+            validate=attributes is not None,
+            canonical=True,
+        )
+
+
+def ingest_stream(
+    events,
+    num_nodes: int,
+    num_timesteps: int,
+    *,
+    chunk_events: int = 65536,
+    memory_budget_bytes: Optional[int] = None,
+    attributes: Optional[np.ndarray] = None,
+) -> TemporalEdgeStore:
+    """Fold an integer-timestep event stream into a canonical store.
+
+    The one-call front door to :class:`StreamingStoreBuilder`.
+    ``events`` may be:
+
+    * a single ``(src, dst, t)`` triple of parallel arrays — absorbed
+      in chunk-sized slices;
+    * an iterable of scalar ``(u, v, t)`` event triples;
+    * an iterable of ``(src, dst, t)`` array batches (e.g. a generator
+      yielding one batch per producer flush).
+
+    Peak transient memory is one chunk (sized directly or via
+    ``memory_budget_bytes``) plus the growing canonical runs — the
+    unsorted stream is never resident at once.
+    """
+    builder = StreamingStoreBuilder(
+        num_nodes,
+        num_timesteps,
+        chunk_events=chunk_events,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    if (
+        isinstance(events, (tuple, list))
+        and len(events) == 3
+        and np.ndim(events[0]) >= 1
+    ):
+        builder.extend(*events)
+    else:
+        for item in events:
+            if len(item) != 3:
+                raise ValueError(
+                    "events must be (src, dst, t) triples or batches"
+                )
+            if np.ndim(item[0]) == 0:
+                builder.add(int(item[0]), int(item[1]), int(item[2]))
+            else:
+                builder.extend(*item)
+    return builder.build(attributes)
 
 
 def snapshot_density_profile(graph: DynamicAttributedGraph) -> np.ndarray:

@@ -68,6 +68,40 @@ class GraphQueryEngine:
         self._snapshot_index: Dict[int, _SnapshotIndex] = {}
         self._attr_order: Dict[Tuple[int, int], np.ndarray] = {}
 
+    @classmethod
+    def from_event_stream(
+        cls,
+        events,
+        num_nodes: int,
+        num_timesteps: int,
+        *,
+        chunk_events: int = 65536,
+        memory_budget_bytes: int | None = None,
+        attributes: np.ndarray | None = None,
+    ) -> "GraphQueryEngine":
+        """Build an engine straight from a ``(src, dst, t)`` event stream.
+
+        The generated-then-scored pipeline entry point: events fold
+        into the canonical columnar store through
+        :func:`repro.graph.streams.ingest_stream` — bounded-memory
+        chunked canonicalization, so the pipeline never holds more
+        than one chunk plus the store — and the engine's CSR indexes
+        derive lazily from that store.  ``events`` accepts the same
+        forms as :func:`ingest_stream` (an array triple, an iterable
+        of scalar triples, or an iterable of array batches).
+        """
+        from repro.graph.streams import ingest_stream
+
+        store = ingest_stream(
+            events,
+            num_nodes,
+            num_timesteps,
+            chunk_events=chunk_events,
+            memory_budget_bytes=memory_budget_bytes,
+            attributes=attributes,
+        )
+        return cls(DynamicAttributedGraph.from_store(store))
+
     # ------------------------------------------------------------------
     def _check_t(self, t: int) -> None:
         if not 0 <= t < self.graph.num_timesteps:

@@ -1,0 +1,59 @@
+"""Every example must run end-to-end under its ``--tiny`` settings.
+
+Examples are the repo's living documentation; this suite is what keeps
+them from drifting off the API.  Each example module exposes
+``main(tiny: bool)`` — ``tiny=True`` shrinks dataset scale and epochs
+to smoke-test size — and is loaded by file path (``examples/`` is not
+a package).  One subprocess case covers the actual ``--tiny`` CLI
+flag.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_is_covered():
+    """New examples must land in this suite automatically."""
+    assert EXAMPLE_FILES, "examples directory went missing"
+    assert "sharded_generation.py" in EXAMPLE_FILES
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_runs_tiny(name, capsys):
+    module = _load_example(name)
+    assert hasattr(module, "main"), f"{name} has no main()"
+    module.main(tiny=True)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_tiny_flag_via_subprocess():
+    env = dict(os.environ)
+    src = str(EXAMPLES_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "--tiny"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "synthetic graph" in result.stdout

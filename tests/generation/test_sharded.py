@@ -1,0 +1,204 @@
+"""Sharded generation: determinism, executor equivalence, merging.
+
+The load-bearing contract: for a fixed seed the generated graph is a
+function of the seed alone — shard count and executor are deployment
+knobs that can never change a single edge.  ``n_shards=1`` must equal
+``VRDAG.generate`` bit-for-bit, and every other configuration must
+equal ``n_shards=1``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.core import VRDAG, VRDAGConfig
+from repro.core.generator import MixBernoulliSampler
+from repro.generation import (
+    ShardPlan,
+    ShardedStructureDecoder,
+    decode_draw_count,
+    generate_sharded,
+    merge_step_columns,
+    sliced_generator,
+)
+from repro.graph.store import track_dense_materializations
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = VRDAGConfig(
+        num_nodes=21,
+        num_attributes=2,
+        hidden_dim=8,
+        latent_dim=4,
+        encode_dim=8,
+        seed=0,
+    )
+    return VRDAG(cfg)
+
+
+@pytest.fixture(scope="module")
+def reference(model):
+    return model.generate(3, seed=11)
+
+
+class TestShardPlan:
+    def test_balanced_partition(self):
+        plan = ShardPlan.balanced(10, 3)
+        assert plan.bounds == (0, 4, 7, 10)
+        assert plan.ranges() == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_shards_than_nodes(self):
+        plan = ShardPlan.balanced(2, 5)
+        assert plan.n_shards == 5
+        assert plan.ranges() == [(0, 1), (1, 2)]  # empties dropped
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ShardPlan(5, (0, 3))  # doesn't end at N
+        with pytest.raises(ValueError):
+            ShardPlan(5, (0, 4, 2, 5))  # decreasing
+        with pytest.raises(ValueError):
+            ShardPlan.balanced(5, 0)
+
+
+class TestSlicedStreams:
+    def test_slices_reproduce_master_draws(self):
+        master = np.random.default_rng(99)
+        state = master.bit_generator.state
+        n = 13
+        u = master.random((n, 1))
+        edge_u = master.random((n, n))
+        for lo, hi in [(0, 5), (5, 9), (9, n)]:
+            np.testing.assert_array_equal(
+                sliced_generator(state, lo).random((hi - lo, 1)), u[lo:hi]
+            )
+            np.testing.assert_array_equal(
+                sliced_generator(state, n + lo * n).random((hi - lo, n)),
+                edge_u[lo:hi],
+            )
+
+    def test_decode_draw_count(self):
+        assert decode_draw_count(7) == 7 + 49
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_identical_edge_columns(self, model, reference, n_shards):
+        """The headline guarantee: shard count never changes the graph."""
+        generated = generate_sharded(model, 3, seed=11, n_shards=n_shards)
+        ref_store = reference.store
+        store = generated.store
+        np.testing.assert_array_equal(store.src, ref_store.src)
+        np.testing.assert_array_equal(store.dst, ref_store.dst)
+        np.testing.assert_array_equal(store.t, ref_store.t)
+        np.testing.assert_array_equal(store.attributes, ref_store.attributes)
+
+    def test_single_shard_matches_vrdag_generate(self, model, reference):
+        """n_shards=1 is RNG-identical to the unsharded Algorithm 1."""
+        assert generate_sharded(model, 3, seed=11, n_shards=1).store == (
+            reference.store
+        )
+
+    def test_seed_determinism_multishard(self, model):
+        a = generate_sharded(model, 3, seed=4, n_shards=4)
+        b = generate_sharded(model, 3, seed=4, n_shards=4)
+        assert a.store == b.store
+
+    def test_different_seeds_differ(self, model):
+        a = generate_sharded(model, 3, seed=4, n_shards=2)
+        b = generate_sharded(model, 3, seed=5, n_shards=2)
+        assert a.store != b.store
+
+    def test_dense_materialization_free_end_to_end(self, model):
+        with track_dense_materializations() as materialized:
+            generate_sharded(model, 3, seed=11, n_shards=4)
+        assert materialized() == 0
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pooled_executors_match_serial(self, model, reference, executor):
+        generated = generate_sharded(
+            model, 3, seed=11, n_shards=3, executor=executor, max_workers=2
+        )
+        assert generated.store == reference.store
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedStructureDecoder(ShardPlan.balanced(4, 2), executor="gpu")
+
+    def test_decoder_reusable_across_steps_and_closeable(self, model):
+        plan = ShardPlan.balanced(model.config.num_nodes, 2)
+        with ShardedStructureDecoder(plan, executor="thread") as decoder:
+            a = model.generate(2, seed=3, structure_decoder=decoder)
+            b = model.generate(2, seed=3, structure_decoder=decoder)
+        assert a.store == b.store
+        decoder.close()  # idempotent
+
+
+class TestDecoderAgainstSampleEdges:
+    def test_matches_sample_edges_and_rng_state(self):
+        """The decoder consumes the master stream exactly like
+        ``sample_edges``: same columns out, same generator state after."""
+        sampler = MixBernoulliSampler(
+            12, num_components=3, rng=np.random.default_rng(3)
+        )
+        s = Tensor(np.random.default_rng(8).normal(size=(23, 12)))
+        rng_ref = np.random.default_rng(42)
+        src_ref, dst_ref = sampler.sample_edges(s, rng_ref)
+        rng_sharded = np.random.default_rng(42)
+        decoder = ShardedStructureDecoder(ShardPlan.balanced(23, 4))
+        src, dst = decoder(sampler, s, rng_sharded)
+        np.testing.assert_array_equal(src, src_ref)
+        np.testing.assert_array_equal(dst, dst_ref)
+        assert (
+            rng_sharded.bit_generator.state == rng_ref.bit_generator.state
+        )
+        # downstream draws stay aligned too
+        np.testing.assert_array_equal(
+            rng_sharded.standard_normal(5), rng_ref.standard_normal(5)
+        )
+
+    def test_plan_size_mismatch_rejected(self):
+        sampler = MixBernoulliSampler(
+            6, num_components=2, rng=np.random.default_rng(0)
+        )
+        s = Tensor(np.zeros((5, 6)))
+        decoder = ShardedStructureDecoder(ShardPlan.balanced(9, 2))
+        with pytest.raises(ValueError):
+            decoder(sampler, s, np.random.default_rng(0))
+
+    def test_non_pcg64_rejected(self):
+        sampler = MixBernoulliSampler(
+            6, num_components=2, rng=np.random.default_rng(0)
+        )
+        s = Tensor(np.zeros((5, 6)))
+        decoder = ShardedStructureDecoder(ShardPlan.balanced(5, 2))
+        mt_rng = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(TypeError):
+            decoder(sampler, s, mt_rng)
+
+
+class TestMergeStepColumns:
+    def test_concatenates_ordered_ranges(self):
+        parts = [
+            (np.array([0, 0, 2]), np.array([1, 3, 0])),
+            (np.array([], dtype=np.int64), np.array([], dtype=np.int64)),
+            (np.array([5, 6]), np.array([2, 2])),
+        ]
+        src, dst = merge_step_columns(parts)
+        np.testing.assert_array_equal(src, [0, 0, 2, 5, 6])
+        np.testing.assert_array_equal(dst, [1, 3, 0, 2, 2])
+
+    def test_empty(self):
+        src, dst = merge_step_columns([])
+        assert src.size == 0 and dst.size == 0
+
+    def test_rejects_out_of_order_shards(self):
+        parts = [
+            (np.array([4]), np.array([0])),
+            (np.array([2]), np.array([1])),
+        ]
+        with pytest.raises(ValueError):
+            merge_step_columns(parts)

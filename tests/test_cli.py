@@ -31,6 +31,40 @@ class TestCLI:
 
         g = graph_io.load(out_path)
         assert g.num_timesteps == 3
+        # sharded decode is a deployment knob: same seed, same graph
+        sharded_path = str(tmp_path / "g_sharded.npz")
+        rc = main([
+            "generate", "--model", model_path, "--timesteps", "3",
+            "--out", sharded_path, "--shards", "3", "--executor", "thread",
+        ])
+        assert rc == 0
+        assert graph_io.load(sharded_path).store == g.store
+
+    def test_ingest_event_log(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.graph import io as graph_io
+        from repro.graph.store import TemporalEdgeStore
+
+        rng = np.random.default_rng(2)
+        src, dst, t = (
+            rng.integers(0, 20, size=400),
+            rng.integers(0, 20, size=400),
+            rng.integers(0, 4, size=400),
+        )
+        events_path = str(tmp_path / "events.npz")
+        graph_io.save_events(
+            events_path, src, dst, t, num_nodes=20, num_timesteps=4
+        )
+        out_path = str(tmp_path / "ingested.npz")
+        rc = main([
+            "ingest", "--events", events_path, "--out", out_path,
+            "--memory-budget-mb", "0.1",
+        ])
+        assert rc == 0
+        assert graph_io.load(out_path).store == TemporalEdgeStore(
+            20, 4, src, dst, t
+        )
 
     def test_experiment_json_output(self, capsys):
         rc = main([
