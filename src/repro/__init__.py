@@ -20,6 +20,7 @@ __version__ = "1.0.0"
 from repro import autodiff, nn, graph, datasets, metrics, workloads
 
 __all__ = [
+    "api",
     "autodiff",
     "nn",
     "graph",
@@ -30,12 +31,14 @@ __all__ = [
     "__version__",
 ]
 
+#: submodules that import repro.core (the model); keeping them lazy
+#: avoids paying the core import for graph/metrics-only users
+_LAZY_SUBMODULES = ("api", "generation")
+
 
 def __getattr__(name):
-    # repro.generation imports repro.core (the model); keeping it lazy
-    # here avoids paying the core import for graph/metrics-only users
-    if name == "generation":
+    if name in _LAZY_SUBMODULES:
         import importlib
 
-        return importlib.import_module("repro.generation")
+        return importlib.import_module(f"repro.{name}")
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

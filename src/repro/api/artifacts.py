@@ -1,0 +1,193 @@
+"""Versioned generator artifacts: one envelope for every generator.
+
+An *artifact* is a single compressed ``.npz`` that round-trips any
+registered generator — fitted or not — through four fields:
+
+=================  ========================================================
+``__artifact__``   magic marker (``"repro-generator-artifact"``)
+``version``        envelope format version (currently 2; version 1 is the
+                   legacy VRDAG-only layout read by
+                   :func:`repro.core.persistence.load_model`)
+``generator``      registry name (``repro.api.get_generator`` resolves it)
+``config``         JSON of ``generator.to_config()`` — construction as data
+``state``          JSON tree of ``generator.get_state()`` with every numpy
+                   array swapped for a ``{"__ndarray__": i}`` reference to
+                   the ``arr::<i>`` entry stored alongside
+=================  ========================================================
+
+The state codec closes over: ``None``, ``bool``/``int``/``float``/
+``str``, numpy arrays and scalars, and lists/tuples/dicts of those.
+Dicts are encoded as ordered ``[key, value]`` pair lists so that
+integer keys *and insertion order* survive — both matter for
+bit-exact regeneration (e.g. the walk baselines' bigram tables feed
+``rng.choice`` in insertion order).  Anything outside that closure
+raises :class:`ArtifactStateError` at save time; a generator whose
+state legitimately cannot be captured should override
+``get_state``/``set_state`` to re-encode it (see ``GRAN``/``TIGGER``)
+or exclude it via ``_STATE_EXCLUDE``.
+
+Loading never unpickles: ``np.load`` runs with ``allow_pickle=False``
+and the JSON fields decode to plain containers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.baselines.base import GraphGenerator
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactStateError",
+    "is_artifact",
+    "load_artifact",
+    "save_artifact",
+]
+
+ARTIFACT_VERSION = 2
+_MAGIC = "repro-generator-artifact"
+_ARRAY_PREFIX = "arr::"
+
+PathLike = Union[str, os.PathLike]
+
+
+class ArtifactStateError(TypeError):
+    """A generator's state holds a value the envelope cannot encode."""
+
+
+# ---------------------------------------------------------------------------
+# state codec
+# ---------------------------------------------------------------------------
+def _encode(value: Any, arrays: List[np.ndarray], where: str) -> Any:
+    """Encode one state value into a JSON-able node, hoisting arrays."""
+    if isinstance(value, np.ndarray):
+        arrays.append(value)
+        return {"__ndarray__": len(arrays) - 1}
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {
+            "__tuple__": [
+                _encode(v, arrays, f"{where}[{i}]") for i, v in enumerate(value)
+            ]
+        }
+    if isinstance(value, list):
+        return [_encode(v, arrays, f"{where}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, dict):
+        items = []
+        for key, val in value.items():
+            if isinstance(key, np.generic):
+                key = key.item()
+            if not isinstance(key, (bool, int, float, str)):
+                raise ArtifactStateError(
+                    f"{where}: dict key {key!r} "
+                    f"({type(key).__name__}) is not serializable"
+                )
+            items.append([key, _encode(val, arrays, f"{where}[{key!r}]")])
+        return {"__dict__": items}
+    raise ArtifactStateError(
+        f"{where}: value of type {type(value).__name__} is not serializable; "
+        "override get_state/set_state or add the attribute to _STATE_EXCLUDE"
+    )
+
+
+def _decode(node: Any, arrays: Dict[int, np.ndarray]) -> Any:
+    """Inverse of :func:`_encode`."""
+    if isinstance(node, list):
+        return [_decode(v, arrays) for v in node]
+    if isinstance(node, dict):
+        if "__ndarray__" in node:
+            return arrays[int(node["__ndarray__"])]
+        if "__tuple__" in node:
+            return tuple(_decode(v, arrays) for v in node["__tuple__"])
+        return {key: _decode(val, arrays) for key, val in node["__dict__"]}
+    return node
+
+
+def _json_bytes(payload: Any) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# envelope I/O
+# ---------------------------------------------------------------------------
+def save_artifact(generator: GraphGenerator, path: PathLike) -> None:
+    """Serialize any registered generator (fitted or not) to ``path``.
+
+    A bare :class:`~repro.core.model.VRDAG` is accepted too — it is
+    wrapped in the ``"VRDAG"`` registry adapter first, so the file is
+    indistinguishable from a trained-through-the-registry artifact.
+    """
+    from repro.api.registry import generator_name_of
+    from repro.core.model import VRDAG
+
+    if isinstance(generator, VRDAG):
+        from repro.eval.harness import VRDAGGenerator
+
+        generator = VRDAGGenerator.from_model(generator)
+    name = generator_name_of(generator)
+    arrays: List[np.ndarray] = []
+    state_tree = _encode(generator.get_state(), arrays, name)
+    np.savez_compressed(
+        path,
+        __artifact__=np.array(_MAGIC),
+        version=np.array(ARTIFACT_VERSION),
+        generator=np.array(name),
+        config=_json_bytes(generator.to_config()),
+        state=_json_bytes(state_tree),
+        **{f"{_ARRAY_PREFIX}{i}": a for i, a in enumerate(arrays)},
+    )
+
+
+def load_artifact(path: PathLike) -> GraphGenerator:
+    """Reconstruct the generator saved by :func:`save_artifact`.
+
+    Raises ``ValueError`` for unknown versions or unregistered
+    generator names, ``FileNotFoundError`` if ``path`` is missing.
+    """
+    from repro.api.registry import generator_entry
+
+    with np.load(path, allow_pickle=False) as data:
+        if "__artifact__" not in data.files or (
+            str(data["__artifact__"][()]) != _MAGIC
+        ):
+            raise ValueError(
+                f"{path} is not a generator artifact (no envelope marker); "
+                "legacy VRDAG model files are read by "
+                "repro.core.persistence.load_model"
+            )
+        version = int(data["version"])
+        if version > ARTIFACT_VERSION or version < 2:
+            raise ValueError(
+                f"unsupported artifact version {version} "
+                f"(this build reads version 2..{ARTIFACT_VERSION})"
+            )
+        name = str(data["generator"][()])
+        config = json.loads(bytes(data["config"]).decode())
+        state_tree = json.loads(bytes(data["state"]).decode())
+        arrays = {
+            int(key[len(_ARRAY_PREFIX):]): data[key]
+            for key in data.files
+            if key.startswith(_ARRAY_PREFIX)
+        }
+    entry = generator_entry(name)
+    generator = entry.cls.from_config(**config)
+    generator.set_state(_decode(state_tree, arrays))
+    return generator
+
+
+def is_artifact(path: PathLike) -> bool:
+    """True if ``path`` is an artifact envelope (any version)."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return "__artifact__" in data.files
+    except FileNotFoundError:
+        raise
+    except Exception:
+        return False

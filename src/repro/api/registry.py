@@ -1,0 +1,233 @@
+"""The generator registry: every generator, by name, as data.
+
+One table maps a public name ("VRDAG", "TagGen", "ErdosRenyi", …) to
+its :class:`~repro.baselines.base.GraphGenerator` class plus metadata:
+
+* ``description`` — one line for ``repro list-generators``.
+* ``smoke_config`` — a cheap construction used by contract tests and
+  CI smoke runs (small epochs / walk budgets); ``get_generator`` with
+  no overrides uses the class defaults, not this.
+
+Construction is data end-to-end: ``get_generator(name, **config)``
+resolves the class and calls its ``from_config``, and the resulting
+instance round-trips through ``to_config()`` — which is what the
+artifact envelope (:mod:`repro.api.artifacts`) persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Type
+
+from repro.baselines import (
+    AGM,
+    ANC,
+    BarabasiAlbert,
+    Dymond,
+    ErdosRenyi,
+    GenCAT,
+    GRAN,
+    GraphGenerator,
+    KroneckerGraph,
+    NormalAttributeGenerator,
+    StochasticBlockModel,
+    TagGen,
+    TGGAN,
+    TIGGER,
+)
+from repro.eval.harness import VRDAGGenerator
+
+__all__ = [
+    "GeneratorEntry",
+    "register_generator",
+    "get_generator",
+    "generator_entry",
+    "generator_name_of",
+    "list_generators",
+    "smoke_config",
+]
+
+
+@dataclass(frozen=True)
+class GeneratorEntry:
+    """One row of the registry."""
+
+    name: str
+    cls: Type[GraphGenerator]
+    description: str = ""
+    #: cheap construction kwargs for contract tests / CI smoke runs
+    smoke_config: Mapping[str, object] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, GeneratorEntry] = {}
+
+
+def register_generator(
+    name: str,
+    cls: Type[GraphGenerator],
+    *,
+    description: str = "",
+    smoke_config: Optional[Mapping[str, object]] = None,
+    overwrite: bool = False,
+) -> GeneratorEntry:
+    """Add a generator class to the registry under ``name``.
+
+    Raises ``ValueError`` on duplicate names unless ``overwrite`` is
+    set, and ``TypeError`` for classes outside the
+    :class:`GraphGenerator` protocol.
+    """
+    if not isinstance(cls, type) or not issubclass(cls, GraphGenerator):
+        raise TypeError(
+            f"{cls!r} is not a GraphGenerator subclass; the registry only "
+            "holds generators speaking the fit/generate protocol"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"generator {name!r} is already registered "
+            f"({_REGISTRY[name].cls.__name__}); pass overwrite=True to replace"
+        )
+    entry = GeneratorEntry(
+        name=name,
+        cls=cls,
+        description=description,
+        smoke_config=dict(smoke_config or {}),
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def list_generators() -> List[str]:
+    """Sorted names of every registered generator."""
+    return sorted(_REGISTRY)
+
+
+def generator_entry(name: str) -> GeneratorEntry:
+    """The registry row for ``name`` (helpful error on unknown names)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown generator {name!r}; registered: "
+            + ", ".join(list_generators())
+        ) from None
+
+
+def generator_name_of(generator: GraphGenerator) -> str:
+    """The registered name of ``generator``'s exact class."""
+    cls = type(generator)
+    for entry in _REGISTRY.values():
+        if entry.cls is cls:
+            return entry.name
+    raise ValueError(
+        f"{cls.__name__} is not a registered generator class; call "
+        "repro.api.register_generator first"
+    )
+
+
+def get_generator(name: str, **config: object) -> GraphGenerator:
+    """Construct a registered generator from keyword config.
+
+    ``get_generator(name)`` uses the class defaults;
+    ``get_generator(name, **gen.to_config())`` rebuilds an equivalent
+    unfitted instance.
+    """
+    return generator_entry(name).cls.from_config(**config)
+
+
+def smoke_config(name: str) -> Dict[str, object]:
+    """The registered cheap-construction kwargs (copy) for ``name``."""
+    return dict(generator_entry(name).smoke_config)
+
+
+# ---------------------------------------------------------------------------
+# built-in registrations: VRDAG + the full baseline field
+# ---------------------------------------------------------------------------
+_BUILTINS = (
+    (
+        "VRDAG",
+        VRDAGGenerator,
+        "the paper's variational recurrent model (train + Algorithm 1)",
+        {"epochs": 2, "hidden_dim": 8, "latent_dim": 4, "encode_dim": 8},
+    ),
+    (
+        "Normal",
+        NormalAttributeGenerator,
+        "per-step Gaussian attributes over density-matched ER edges (Fig. 3)",
+        {},
+    ),
+    (
+        "GenCAT",
+        GenCAT,
+        "latent-class attributed static generator (Maekawa et al., 2023)",
+        {},
+    ),
+    (
+        "GRAN",
+        GRAN,
+        "autoregressive row-wise structure generator (Liao et al., 2019)",
+        {"epochs": 5},
+    ),
+    (
+        "TagGen",
+        TagGen,
+        "temporal-walk + discriminator + merge generator (Zhou et al., 2020)",
+        {"walks_per_edge": 1.0},
+    ),
+    (
+        "TGGAN",
+        TGGAN,
+        "truncated temporal-walk GAN (Zhang et al., 2021)",
+        {"walks_per_edge": 1.0, "adversarial_rounds": 1, "disc_epochs": 3},
+    ),
+    (
+        "TIGGER",
+        TIGGER,
+        "RNN temporal-walk generative model (Gupta et al., 2022)",
+        {"walks_per_edge": 1.0, "epochs": 2},
+    ),
+    (
+        "Dymond",
+        Dymond,
+        "motif arrival-rate model (Zeno et al., 2021)",
+        {},
+    ),
+    (
+        "AGM",
+        AGM,
+        "attributed graph model with accept/reject edges (Pfeiffer, 2014)",
+        {},
+    ),
+    (
+        "ANC",
+        ANC,
+        "community-structured Gaussian-attribute generator (Largeron, 2015)",
+        {},
+    ),
+    (
+        "ErdosRenyi",
+        ErdosRenyi,
+        "density-matched directed G(n, p)",
+        {},
+    ),
+    (
+        "BarabasiAlbert",
+        BarabasiAlbert,
+        "directed preferential attachment matched to edges/step",
+        {},
+    ),
+    (
+        "StochasticBlockModel",
+        StochasticBlockModel,
+        "directed SBM with degree-profile k-means blocks",
+        {},
+    ),
+    (
+        "Kronecker",
+        KroneckerGraph,
+        "stochastic Kronecker graph fitted by moment matching",
+        {},
+    ),
+)
+
+for _name, _cls, _desc, _smoke in _BUILTINS:
+    register_generator(_name, _cls, description=_desc, smoke_config=_smoke)

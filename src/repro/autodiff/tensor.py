@@ -13,30 +13,44 @@ match the original operand.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 Arrayish = Union["Tensor", np.ndarray, float, int]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread tape-recording switch.
+
+    Thread-local (like torch's grad mode) so that concurrent inference
+    — e.g. ``GenerationService``'s thread executor running
+    ``VRDAG.generate`` in parallel — cannot race the save/restore in
+    :func:`no_grad` and leave recording disabled process-wide.  Each
+    new thread starts with recording enabled.
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling tape recording (inference mode)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    prev = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_MODE.enabled = prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently being recorded."""
-    return _GRAD_ENABLED
+    return _GRAD_MODE.enabled
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -105,7 +119,7 @@ class Tensor:
         backwards: Sequence[Callable[[np.ndarray], np.ndarray]],
         op: str,
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=requires)
         if requires:
             kept_parents = []

@@ -53,6 +53,8 @@ def _edge_features(adj: np.ndarray, i: int, order: np.ndarray, upto: int) -> np.
 class GRAN(GraphGenerator):
     """Autoregressive row-wise structure generator (static, simplified)."""
 
+    _STATE_EXCLUDE = ("_scorer",)
+
     def __init__(
         self,
         hidden_dim: int = 16,
@@ -115,6 +117,28 @@ class GRAN(GraphGenerator):
             optimizer.step()
         self.fitted = True
         return self
+
+    # ------------------------------------------------------------------
+    def get_state(self):
+        """Reflective state plus the edge scorer's weights."""
+        state = super().get_state()
+        if self._scorer is not None:
+            state["__scorer__"] = self._scorer.state_dict()
+        return state
+
+    def set_state(self, state) -> None:
+        """Restore state, rebuilding the scorer MLP from its weights."""
+        state = dict(state)
+        scorer = state.pop("__scorer__", None)
+        super().set_state(state)
+        if scorer is None:
+            self._scorer = None
+        else:
+            self._scorer = MLP(
+                [_FEATURES, self.hidden_dim, 1], activation="relu",
+                rng=np.random.default_rng(0),
+            )
+            self._scorer.load_state_dict(scorer)
 
     # ------------------------------------------------------------------
     def generate(self, num_timesteps: int,

@@ -36,7 +36,15 @@ from repro.graph.temporal import TemporalEdgeList
 
 
 class TagGen(GraphGenerator):
-    """Temporal random walk + discriminator + merge generator."""
+    """Temporal random walk + discriminator + merge generator.
+
+    The walk sampler and the real-walk sample only feed ``fit``-time
+    model estimation; generation runs off the fitted bigram scorer and
+    start distribution alone, so both are excluded from the serialized
+    state (a loaded instance generates identically without them).
+    """
+
+    _STATE_EXCLUDE = ("_sampler", "_real_walks")
 
     def __init__(
         self,

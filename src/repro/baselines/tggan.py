@@ -56,7 +56,14 @@ def _walk_features(walk: Walk, num_nodes: int, num_timesteps: int) -> np.ndarray
 
 
 class TGGAN(GraphGenerator):
-    """Truncated temporal walk generator with adversarial reweighting."""
+    """Truncated temporal walk generator with adversarial reweighting.
+
+    The discriminator only steers ``fit``-time reweighting of the
+    bigram generator; it is excluded from the serialized state (a
+    loaded instance generates identically without it).
+    """
+
+    _STATE_EXCLUDE = ("_discriminator",)
 
     def __init__(
         self,

@@ -61,6 +61,8 @@ class _WalkRNN(Module):
 class TIGGER(GraphGenerator):
     """RNN temporal-walk generator."""
 
+    _STATE_EXCLUDE = ("_rnn",)
+
     def __init__(
         self,
         walk_length: int = 6,
@@ -164,6 +166,28 @@ class TIGGER(GraphGenerator):
             total = step_loss if total is None else total + step_loss
             count += 1
         return total / count if count else None
+
+    # ------------------------------------------------------------------
+    def get_state(self):
+        """Reflective state plus the walk RNN's weights."""
+        state = super().get_state()
+        if self._rnn is not None:
+            state["__rnn__"] = self._rnn.state_dict()
+        return state
+
+    def set_state(self, state) -> None:
+        """Restore state, rebuilding the walk RNN from its weights."""
+        state = dict(state)
+        rnn = state.pop("__rnn__", None)
+        super().set_state(state)
+        if rnn is None:
+            self._rnn = None
+        else:
+            self._rnn = _WalkRNN(
+                self._num_nodes, self.embed_dim, self.hidden_dim,
+                np.random.default_rng(0),
+            )
+            self._rnn.load_state_dict(rnn)
 
     # ------------------------------------------------------------------
     def generate(self, num_timesteps: int,

@@ -1,17 +1,26 @@
-"""Command-line interface: run any paper experiment from the shell.
+"""Command-line interface, built on the :mod:`repro.api` facade.
+
+Any registered generator can be trained, saved, loaded and served by
+name; ``run`` executes a whole dataset × generator × metrics pipeline
+from one JSON config.
 
 Examples
 --------
 ::
 
     python -m repro.cli list-datasets
-    python -m repro.cli train --dataset email --scale 0.03 --epochs 25 \
-        --model-out /tmp/vrdag_email.npz
+    python -m repro.cli list-generators
+    python -m repro.cli train --dataset email --generator VRDAG \
+        --scale 0.03 --epochs 25 --model-out /tmp/vrdag_email.npz
+    python -m repro.cli train --dataset email --generator TagGen \
+        --generator-config '{"walk_length": 10}' --model-out /tmp/taggen.npz
     python -m repro.cli generate --model /tmp/vrdag_email.npz \
         --timesteps 14 --out /tmp/synthetic.npz --shards 4 --executor process
+    python -m repro.cli run --config examples/run_config.json
     python -m repro.cli ingest --events /tmp/events.npz \
         --out /tmp/graph.npz --memory-budget-mb 64
     python -m repro.cli experiment --name table1 --dataset email
+    python -m repro.cli compare --original a.npz --synthetic b.npz --json
 """
 
 from __future__ import annotations
@@ -21,14 +30,9 @@ import json
 import sys
 from typing import List, Optional
 
-import numpy as np
-
-from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
-from repro.core.persistence import load_model, save_model
 from repro.datasets import list_datasets, load_dataset
 from repro.eval import experiments as E
 from repro.graph import io as graph_io
-from repro.metrics import attribute_jsd, privacy_report, structure_metric_table
 
 _EXPERIMENTS = {
     "table1": lambda a: E.run_table1(a.dataset, scale=a.scale, epochs=a.epochs),
@@ -56,28 +60,65 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-datasets", help="list dataset twins")
 
-    train = sub.add_parser("train", help="train VRDAG on a dataset twin")
+    sub.add_parser(
+        "list-generators",
+        help="list every generator in the repro.api registry",
+    )
+
+    train = sub.add_parser(
+        "train", help="fit any registered generator on a dataset twin"
+    )
     train.add_argument("--dataset", required=True, choices=list_datasets())
+    train.add_argument(
+        "--generator", default="VRDAG",
+        help="registry name (see list-generators); default VRDAG",
+    )
+    train.add_argument(
+        "--generator-config", default=None,
+        help="JSON object of constructor kwargs for the generator",
+    )
     train.add_argument("--scale", type=float, default=0.03)
     train.add_argument("--seed", type=int, default=0)
-    train.add_argument("--epochs", type=int, default=25)
-    train.add_argument("--hidden-dim", type=int, default=24)
-    train.add_argument("--latent-dim", type=int, default=12)
+    train.add_argument(
+        "--epochs", type=int, default=25,
+        help="training epochs (VRDAG only; other generators ignore it "
+        "unless set via --generator-config)",
+    )
+    train.add_argument("--hidden-dim", type=int, default=24,
+                       help="VRDAG only")
+    train.add_argument("--latent-dim", type=int, default=12,
+                       help="VRDAG only")
     train.add_argument("--model-out", required=True)
 
-    gen = sub.add_parser("generate", help="generate from a trained model")
+    gen = sub.add_parser(
+        "generate", help="generate from any saved generator artifact"
+    )
     gen.add_argument("--model", required=True)
     gen.add_argument("--timesteps", type=int, required=True)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True)
     gen.add_argument(
         "--shards", type=int, default=1,
-        help="node shards for the structure decode (seed-deterministic: "
-        "any shard count yields the identical graph)",
+        help="node shards for the VRDAG structure decode "
+        "(seed-deterministic: any shard count yields the identical graph)",
     )
     gen.add_argument(
         "--executor", choices=("serial", "thread", "process"),
         default="serial", help="how shards are executed",
+    )
+
+    run = sub.add_parser(
+        "run",
+        help="one-shot fit -> generate -> evaluate pipeline from a "
+        "JSON config (see docs/api.md)",
+    )
+    run.add_argument(
+        "--config", required=True,
+        help="JSON file with at least dataset and generator keys",
+    )
+    run.add_argument(
+        "--out", default=None,
+        help="also write the result JSON to this path",
     )
 
     ingest = sub.add_parser(
@@ -105,8 +146,103 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cmp_.add_argument("--original", required=True)
     cmp_.add_argument("--synthetic", required=True)
+    cmp_.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: single-line JSON with a status "
+        "field; load failures exit nonzero instead of raising",
+    )
 
     return parser
+
+
+def _cmd_train(args) -> int:
+    from repro import api
+
+    config = json.loads(args.generator_config) if args.generator_config else {}
+    config.setdefault("seed", args.seed)
+    if args.generator == "VRDAG":
+        config.setdefault("epochs", args.epochs)
+        config.setdefault("hidden_dim", args.hidden_dim)
+        config.setdefault("latent_dim", args.latent_dim)
+        config.setdefault("encode_dim", args.hidden_dim)
+    generator = api.get_generator(args.generator, **config)
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(f"fitting {args.generator} on {graph}")
+    generator.fit(graph)
+    api.save_artifact(generator, args.model_out)
+    result = getattr(generator, "train_result", None)
+    if result is not None:
+        print(
+            f"loss {result.loss_history[0]:.3f} -> {result.final_loss:.3f}; "
+            f"artifact saved to {args.model_out}"
+        )
+    else:
+        print(f"fitted; artifact saved to {args.model_out}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro import api
+    from repro.api.pipeline import generate_with_decode
+
+    if api.is_artifact(args.model):
+        generator = api.load_artifact(args.model)
+    else:  # legacy VRDAG-only model file
+        from repro.core.persistence import load_model
+        from repro.eval.harness import VRDAGGenerator
+
+        generator = VRDAGGenerator.from_model(load_model(args.model))
+    try:
+        synthetic = generate_with_decode(
+            generator, args.timesteps, args.seed,
+            shards=args.shards, executor=args.executor,
+        )
+    except ValueError as exc:  # e.g. --shards on a non-VRDAG artifact
+        print(f"generate: {exc}", file=sys.stderr)
+        return 2
+    graph_io.save(synthetic, args.out)
+    print(f"generated {synthetic} -> {args.out}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.api import Pipeline
+
+    with open(args.config) as handle:
+        config = json.load(handle)
+    result = Pipeline.from_dict(config).run()
+    payload = json.dumps(result.to_dict(), indent=2)
+    print(payload)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.metrics import attribute_jsd, privacy_report, structure_metric_table
+
+    try:
+        original = graph_io.load(args.original)
+        synthetic = graph_io.load(args.synthetic)
+    except Exception as exc:
+        if args.json:
+            print(json.dumps({"status": "error", "error": str(exc)}))
+        else:
+            print(f"compare: cannot load graphs: {exc}", file=sys.stderr)
+        return 2
+    report = {
+        "fidelity": structure_metric_table(original, synthetic),
+        "privacy": privacy_report(original, synthetic),
+    }
+    if original.num_attributes:
+        report["fidelity"]["attr_jsd"] = attribute_jsd(original, synthetic)
+    if args.json:
+        print(json.dumps({"status": "ok", **_jsonable(report)}))
+    else:
+        print(json.dumps(_jsonable(report), indent=2))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -118,40 +254,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
-    if args.command == "train":
-        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        print(f"training on {graph}")
-        config = VRDAGConfig(
-            num_nodes=graph.num_nodes,
-            num_attributes=graph.num_attributes,
-            hidden_dim=args.hidden_dim,
-            latent_dim=args.latent_dim,
-            encode_dim=args.hidden_dim,
-            seed=args.seed,
-        )
-        model = VRDAG(config)
-        result = VRDAGTrainer(model, TrainConfig(epochs=args.epochs)).fit(graph)
-        save_model(model, args.model_out)
-        print(
-            f"loss {result.loss_history[0]:.3f} -> {result.final_loss:.3f}; "
-            f"model saved to {args.model_out}"
-        )
+    if args.command == "list-generators":
+        from repro import api
+
+        for name in api.list_generators():
+            entry = api.generator_entry(name)
+            print(f"{name:<22} {entry.description}")
         return 0
+
+    if args.command == "train":
+        return _cmd_train(args)
 
     if args.command == "generate":
-        from repro.generation import generate_sharded
+        return _cmd_generate(args)
 
-        model = load_model(args.model)
-        synthetic = generate_sharded(
-            model,
-            args.timesteps,
-            seed=args.seed,
-            n_shards=args.shards,
-            executor=args.executor,
-        )
-        graph_io.save(synthetic, args.out)
-        print(f"generated {synthetic} -> {args.out}")
-        return 0
+    if args.command == "run":
+        return _cmd_run(args)
 
     if args.command == "ingest":
         budget = (
@@ -170,28 +288,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        original = graph_io.load(args.original)
-        synthetic = graph_io.load(args.synthetic)
-        report = {
-            "fidelity": structure_metric_table(original, synthetic),
-            "privacy": privacy_report(original, synthetic),
-        }
-        if original.num_attributes:
-            report["fidelity"]["attr_jsd"] = attribute_jsd(original, synthetic)
-        print(json.dumps(_jsonable(report), indent=2))
-        return 0
+        return _cmd_compare(args)
 
     return 1  # pragma: no cover - argparse enforces choices
 
 
 def _jsonable(value):
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, np.ndarray):
-        return [round(float(x), 6) for x in value.ravel()]
-    if isinstance(value, (np.floating, float)):
-        return round(float(value), 6)
-    return value
+    # the one JSON-coercion helper, shared with RunResult.to_dict
+    from repro.api.pipeline import _jsonable as coerce
+
+    return coerce(value)
 
 
 if __name__ == "__main__":

@@ -2,8 +2,19 @@
 
 A trained model is more than its parameters: attribute normalization,
 the fitted observation-noise Cholesky schedule and the output
-calibration are all required to generate faithfully.  This module
-serializes everything to one compressed ``.npz``.
+calibration are all required to generate faithfully.
+
+Historically this module owned a bespoke VRDAG-only ``.npz`` layout
+(format version 1).  Since the :mod:`repro.api` redesign the canonical
+on-disk form is the *generator artifact envelope*
+(:mod:`repro.api.artifacts`), which serializes any registered
+generator; :func:`save_model` / :func:`load_model` remain as thin
+VRDAG-only shims on top of it (and :func:`load_model` still reads
+legacy version-1 files).
+
+The state helpers :func:`vrdag_state` / :func:`vrdag_from_state` are
+the single source of truth for what a serialized VRDAG contains; both
+the legacy reader and the artifact envelope go through them.
 """
 
 from __future__ import annotations
@@ -11,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -22,9 +33,9 @@ _FORMAT_VERSION = 1
 _STATE_PREFIX = "param::"
 
 
-def save_model(model: VRDAG, path: Union[str, os.PathLike]) -> None:
-    """Serialize a (possibly trained) VRDAG to ``path``."""
-    arrays = {
+def vrdag_state(model: VRDAG) -> Dict[str, object]:
+    """Everything needed to rebuild ``model``: config + named arrays."""
+    arrays: Dict[str, np.ndarray] = {
         _STATE_PREFIX + name: value
         for name, value in model.state_dict().items()
     }
@@ -33,48 +44,97 @@ def save_model(model: VRDAG, path: Union[str, os.PathLike]) -> None:
     arrays["calib::noise_chol"] = model._attr_noise_chol
     arrays["calib::extra_chol"] = model._attr_extra_chol
     arrays["calib::noise_rho"] = np.array(model._attr_noise_rho)
-    arrays["calib::has_target_mean"] = np.array(
-        model._attr_target_mean is not None
-    )
     if model._attr_target_mean is not None:
         arrays["calib::target_mean"] = model._attr_target_mean
-    np.savez_compressed(
-        path,
-        version=np.array(_FORMAT_VERSION),
-        config=np.frombuffer(
-            json.dumps(dataclasses.asdict(model.config)).encode(), dtype=np.uint8
-        ),
-        **arrays,
+    return {
+        "config": dataclasses.asdict(model.config),
+        "arrays": arrays,
+    }
+
+
+def vrdag_from_state(state: Dict[str, object]) -> VRDAG:
+    """Inverse of :func:`vrdag_state`."""
+    model = VRDAG(VRDAGConfig(**state["config"]))
+    _apply_arrays(model, dict(state["arrays"]))
+    return model
+
+
+def _apply_arrays(model: VRDAG, arrays: Dict[str, np.ndarray]) -> None:
+    """Load the named-array half of :func:`vrdag_state` onto ``model``."""
+    model.load_state_dict(
+        {
+            name[len(_STATE_PREFIX):]: value
+            for name, value in arrays.items()
+            if name.startswith(_STATE_PREFIX)
+        }
     )
+    model._attr_mean = np.asarray(arrays["calib::attr_mean"])
+    model._attr_std = np.asarray(arrays["calib::attr_std"])
+    model._attr_noise_chol = np.asarray(arrays["calib::noise_chol"])
+    model._attr_noise_std = np.sqrt(
+        np.maximum(
+            np.einsum(
+                "tij,tij->ti", model._attr_noise_chol, model._attr_noise_chol
+            ),
+            0.0,
+        )
+    )
+    model._attr_extra_chol = np.asarray(arrays["calib::extra_chol"])
+    if "calib::noise_rho" in arrays:
+        model._attr_noise_rho = float(arrays["calib::noise_rho"])
+    if "calib::target_mean" in arrays:
+        model._attr_target_mean = np.asarray(arrays["calib::target_mean"])
+
+
+def save_model(model: VRDAG, path: Union[str, os.PathLike]) -> None:
+    """Serialize a (possibly trained) VRDAG to ``path``.
+
+    Shim over :func:`repro.api.artifacts.save_artifact`: the file is a
+    standard generator artifact (readable by any artifact consumer),
+    kept here for source compatibility with the pre-``repro.api`` API.
+    """
+    from repro.api.artifacts import save_artifact
+
+    save_artifact(model, path)
 
 
 def load_model(path: Union[str, os.PathLike]) -> VRDAG:
-    """Reconstruct a VRDAG saved with :func:`save_model`."""
+    """Reconstruct a VRDAG saved with :func:`save_model`.
+
+    Reads both the artifact envelope (any VRDAG-backed generator
+    artifact — the underlying :class:`VRDAG` is returned) and the
+    legacy version-1 layout.
+    """
+    from repro.api.artifacts import is_artifact, load_artifact
+
+    if is_artifact(path):
+        generator = load_artifact(path)
+        model = getattr(generator, "model", None)
+        if isinstance(generator, VRDAG):
+            model = generator
+        if not isinstance(model, VRDAG):
+            raise ValueError(
+                f"{path} holds a {type(generator).__name__} artifact, not a "
+                "VRDAG model; use repro.api.load_artifact for arbitrary "
+                "generators"
+            )
+        return model
+    return _load_model_v1(path)
+
+
+def _load_model_v1(path: Union[str, os.PathLike]) -> VRDAG:
+    """Legacy (pre-artifact) single-model format reader."""
     with np.load(path) as data:
         version = int(data["version"])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported model file version {version}")
-        config = VRDAGConfig(**json.loads(bytes(data["config"]).decode()))
-        model = VRDAG(config)
-        state = {
-            name[len(_STATE_PREFIX):]: data[name]
+        config = json.loads(bytes(data["config"]).decode())
+        arrays = {
+            name: data[name]
             for name in data.files
-            if name.startswith(_STATE_PREFIX)
+            if name.startswith(_STATE_PREFIX) or name.startswith("calib::")
         }
-        model.load_state_dict(state)
-        model._attr_mean = data["calib::attr_mean"]
-        model._attr_std = data["calib::attr_std"]
-        model._attr_noise_chol = data["calib::noise_chol"]
-        model._attr_noise_std = np.sqrt(
-            np.maximum(
-                np.einsum("tij,tij->ti", model._attr_noise_chol,
-                          model._attr_noise_chol),
-                0.0,
-            )
-        )
-        model._attr_extra_chol = data["calib::extra_chol"]
-        if "calib::noise_rho" in data.files:
-            model._attr_noise_rho = float(data["calib::noise_rho"])
-        if bool(data["calib::has_target_mean"]):
-            model._attr_target_mean = data["calib::target_mean"]
-    return model
+        if not bool(data["calib::has_target_mean"]):
+            arrays.pop("calib::target_mean", None)
+        arrays.pop("calib::has_target_mean", None)
+    return vrdag_from_state({"config": config, "arrays": arrays})

@@ -6,16 +6,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from repro.baselines import (
-    Dymond,
-    GenCAT,
-    GRAN,
-    GraphGenerator,
-    NormalAttributeGenerator,
-    TagGen,
-    TGGAN,
-    TIGGER,
-)
+from repro.baselines import GraphGenerator
 from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
 from repro.core.schedule import LinearWarmup
 from repro.graph import DynamicAttributedGraph
@@ -25,6 +16,10 @@ from repro.profiling import profiler
 
 class VRDAGGenerator(GraphGenerator):
     """Adapts VRDAG to the common fit/generate protocol."""
+
+    #: the trained model is re-encoded via the persistence helpers in
+    #: :meth:`get_state`; the train result is fit-time telemetry only
+    _STATE_EXCLUDE = ("model", "train_result")
 
     def __init__(
         self,
@@ -95,6 +90,50 @@ class VRDAGGenerator(GraphGenerator):
         self._require_fitted()
         return self.model.generate(num_timesteps, seed=seed)
 
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: VRDAG) -> "VRDAGGenerator":
+        """Wrap an already-built (possibly trained) :class:`VRDAG`.
+
+        Training hyperparameters that are not recoverable from the
+        model (epochs, learning rate, …) keep their adapter defaults —
+        they only matter for a future re-``fit``.
+        """
+        cfg = model.config
+        adapter = cls(
+            hidden_dim=cfg.hidden_dim,
+            latent_dim=cfg.latent_dim,
+            encode_dim=cfg.encode_dim,
+            mixture_components=cfg.mixture_components,
+            bidirectional=cfg.bidirectional,
+            attr_loss=cfg.attr_loss,
+            seed=cfg.seed,
+        )
+        adapter.model = model
+        adapter.fitted = True
+        return adapter
+
+    def get_state(self):
+        """Reflective state plus the full serialized VRDAG."""
+        from repro.core.persistence import vrdag_state
+
+        state = super().get_state()
+        if self.model is not None:
+            state["__model__"] = vrdag_state(self.model)
+        return state
+
+    def set_state(self, state) -> None:
+        """Restore state, rebuilding the wrapped VRDAG."""
+        from repro.core.persistence import vrdag_from_state
+
+        state = dict(state)
+        model_state = state.pop("__model__", None)
+        super().set_state(state)
+        self.model = (
+            vrdag_from_state(model_state) if model_state is not None else None
+        )
+        self.train_result = None
+
 
 @dataclass
 class GeneratorSpec:
@@ -132,17 +171,28 @@ def make_vrdag(epochs: int = 15, seed: int = 0, **kwargs) -> VRDAGGenerator:
 
 
 def default_generators(seed: int = 0, epochs: int = 15) -> Dict[str, GeneratorSpec]:
-    """The Table I comparison set (Dymond included where it fits)."""
+    """The Table I comparison set (Dymond included where it fits).
+
+    Factories resolve through the :mod:`repro.api` registry (imported
+    lazily — the registry imports this module), so the experiment
+    harness and the public API construct identical generators.
+    """
+    def spec(name: str, **config) -> GeneratorSpec:
+        def factory(name=name, config=config) -> GraphGenerator:
+            from repro.api import get_generator
+
+            return get_generator(name, seed=seed, **config)
+
+        return GeneratorSpec(name, factory)
+
     return {
-        "GRAN": GeneratorSpec("GRAN", lambda: GRAN(seed=seed)),
-        "GenCAT": GeneratorSpec("GenCAT", lambda: GenCAT(seed=seed)),
-        "TagGen": GeneratorSpec("TagGen", lambda: TagGen(seed=seed)),
-        "Dymond": GeneratorSpec("Dymond", lambda: Dymond(seed=seed)),
-        "TGGAN": GeneratorSpec("TGGAN", lambda: TGGAN(seed=seed)),
-        "TIGGER": GeneratorSpec("TIGGER", lambda: TIGGER(seed=seed)),
-        "VRDAG": GeneratorSpec(
-            "VRDAG", lambda: make_vrdag(epochs=epochs, seed=seed)
-        ),
+        "GRAN": spec("GRAN"),
+        "GenCAT": spec("GenCAT"),
+        "TagGen": spec("TagGen"),
+        "Dymond": spec("Dymond"),
+        "TGGAN": spec("TGGAN"),
+        "TIGGER": spec("TIGGER"),
+        "VRDAG": spec("VRDAG", epochs=epochs),
     }
 
 

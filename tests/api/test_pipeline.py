@@ -1,0 +1,113 @@
+"""Pipeline facade: resolution, structured results, sharded passthrough."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.graph import DynamicAttributedGraph
+
+
+class TestPipeline:
+    def test_named_components_end_to_end(self, tmp_path):
+        artifact = tmp_path / "er.npz"
+        generated = tmp_path / "g.npz"
+        result = api.Pipeline(
+            dataset="email",
+            generator="ErdosRenyi",
+            metrics=["structure", "privacy", "attributes"],
+            scale=0.012,
+            timesteps=3,
+            seed=1,
+            artifact_out=str(artifact),
+            generated_out=str(generated),
+        ).run()
+        assert result.generator == "ErdosRenyi"
+        assert result.dataset == "email"
+        assert result.generated.num_timesteps == 3
+        assert set(result.metrics) == {"structure", "privacy", "attributes"}
+        assert "in_deg_dist" in result.metrics["structure"]
+        # side outputs: a loadable artifact and a loadable graph
+        assert api.is_artifact(artifact)
+        from repro.graph import io as graph_io
+
+        assert graph_io.load(generated) == result.generated
+
+    def test_to_dict_is_json_serializable(self):
+        result = api.Pipeline(
+            "email", "ErdosRenyi", ["structure"], scale=0.012, timesteps=2
+        ).run()
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["generator"] == "ErdosRenyi"
+        assert payload["generated_summary"]["num_timesteps"] == 2
+        assert payload["timings"]["fit_seconds"] >= 0
+
+    def test_graph_and_instance_inputs(self, tiny_graph):
+        generator = api.get_generator("Normal", seed=2)
+        result = api.Pipeline(tiny_graph, generator, ["structure"]).run()
+        assert result.dataset == "<graph>"
+        assert result.generator == "Normal"
+        assert result.num_timesteps == tiny_graph.num_timesteps
+        assert isinstance(result.reference, DynamicAttributedGraph)
+
+    def test_prefitted_generator_is_not_refit(self, tiny_graph):
+        generator = api.get_generator("ErdosRenyi").fit(tiny_graph)
+        p = generator._p
+        api.Pipeline(tiny_graph, generator, []).run()
+        assert generator._p == p
+
+    def test_sharded_vrdag_bit_identical_to_serial(self):
+        config = api.smoke_config("VRDAG")
+        serial = api.Pipeline(
+            "email", "VRDAG", [], generator_config=config,
+            scale=0.012, timesteps=3, seed=4,
+        ).run()
+        sharded = api.Pipeline(
+            "email", "VRDAG", [], generator_config=config,
+            scale=0.012, timesteps=3, seed=4,
+            shards=3, executor="thread",
+        ).run()
+        assert sharded.generated == serial.generated
+
+    def test_sharding_rejected_for_non_vrdag(self, tiny_graph):
+        pipeline = api.Pipeline(tiny_graph, "ErdosRenyi", [], shards=2)
+        with pytest.raises(ValueError, match="sharded"):
+            pipeline.run()
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="structure"):
+            api.Pipeline("email", "ErdosRenyi", ["nope"])
+
+    def test_zero_timesteps_rejected(self):
+        # 0 must not silently fall back to the dataset horizon
+        with pytest.raises(ValueError, match="timesteps"):
+            api.Pipeline("email", "ErdosRenyi", [], timesteps=0)
+
+    def test_from_dict_roundtrip(self):
+        pipeline = api.Pipeline.from_dict({
+            "dataset": "email",
+            "generator": "ErdosRenyi",
+            "metrics": ["structure"],
+            "scale": 0.012,
+            "timesteps": 2,
+            "seed": 5,
+        })
+        result = pipeline.run()
+        assert result.seed == 5
+        assert result.num_timesteps == 2
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="typo_key"):
+            api.Pipeline.from_dict({
+                "dataset": "email", "generator": "ErdosRenyi",
+                "typo_key": 1,
+            })
+
+    def test_from_dict_requires_dataset_and_generator(self):
+        with pytest.raises(ValueError, match="generator"):
+            api.Pipeline.from_dict({"dataset": "email"})
+
+    def test_list_metrics(self):
+        names = api.list_metrics()
+        assert names == sorted(names)
+        assert {"structure", "attributes", "privacy"} <= set(names)

@@ -1,0 +1,73 @@
+"""Generator registry: names, config-as-data, registration rules."""
+
+import pytest
+
+from repro import api
+from repro.baselines import ErdosRenyi
+from repro.baselines.base import GraphGenerator
+
+
+class TestRegistry:
+    def test_list_is_sorted_and_nonempty(self):
+        names = api.list_generators()
+        assert names == sorted(names)
+        assert {"VRDAG", "TagGen", "ErdosRenyi", "GRAN"} <= set(names)
+
+    def test_every_name_constructs_with_defaults(self):
+        for name in api.list_generators():
+            generator = api.get_generator(name)
+            assert isinstance(generator, GraphGenerator)
+            assert not generator.fitted
+
+    def test_config_overrides_apply(self):
+        generator = api.get_generator("ErdosRenyi", seed=77)
+        assert generator.seed == 77
+        assert generator.to_config() == {"seed": 77}
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ValueError, match="ErdosRenyi"):
+            api.get_generator("NoSuchModel")
+
+    def test_entry_metadata(self):
+        entry = api.generator_entry("VRDAG")
+        assert entry.name == "VRDAG"
+        assert entry.description
+        assert "epochs" in entry.smoke_config
+
+    def test_smoke_config_is_a_copy(self):
+        config = api.smoke_config("VRDAG")
+        config["epochs"] = 99999
+        assert api.smoke_config("VRDAG")["epochs"] != 99999
+
+    def test_generator_name_of_roundtrip(self):
+        for name in api.list_generators():
+            assert api.generator_name_of(api.get_generator(name)) == name
+
+    def test_generator_name_of_rejects_unregistered(self):
+        class Unregistered(ErdosRenyi):
+            pass
+
+        with pytest.raises(ValueError, match="not a registered"):
+            api.generator_name_of(Unregistered())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            api.register_generator("ErdosRenyi", ErdosRenyi)
+
+    def test_overwrite_registration(self):
+        entry = api.generator_entry("ErdosRenyi")
+        try:
+            api.register_generator(
+                "ErdosRenyi", ErdosRenyi,
+                description="replaced", overwrite=True,
+            )
+            assert api.generator_entry("ErdosRenyi").description == "replaced"
+        finally:
+            api.register_generator(
+                "ErdosRenyi", entry.cls, description=entry.description,
+                smoke_config=entry.smoke_config, overwrite=True,
+            )
+
+    def test_non_generator_class_rejected(self):
+        with pytest.raises(TypeError, match="GraphGenerator"):
+            api.register_generator("Bogus", dict)

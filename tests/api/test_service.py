@@ -1,0 +1,101 @@
+"""GenerationService: batch output bit-identical to serial generation."""
+
+import pytest
+
+from repro import api
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """Two fitted artifacts: a VRDAG and a cheap baseline."""
+    from repro.datasets import load_dataset
+
+    root = tmp_path_factory.mktemp("service-artifacts")
+    graph = load_dataset("email", scale=0.012, seed=0)
+    paths = {}
+    for name in ("VRDAG", "ErdosRenyi"):
+        generator = api.get_generator(name, seed=0, **api.smoke_config(name))
+        generator.fit(graph)
+        paths[name] = str(root / f"{name}.npz")
+        api.save_artifact(generator, paths[name])
+    return paths
+
+
+def _requests(artifacts):
+    return [
+        api.GenerationRequest(artifacts["VRDAG"], num_timesteps=3, seed=0),
+        api.GenerationRequest(artifacts["VRDAG"], num_timesteps=3, seed=1),
+        api.GenerationRequest(artifacts["VRDAG"], num_timesteps=2, seed=0,
+                              shards=3),
+        api.GenerationRequest(artifacts["ErdosRenyi"], num_timesteps=4,
+                              seed=2),
+        api.GenerationRequest(artifacts["ErdosRenyi"], num_timesteps=4,
+                              seed=3),
+    ]
+
+
+def _serial_reference(requests):
+    out = []
+    for req in requests:
+        generator = api.load_artifact(req.artifact)
+        out.append(generator.generate(req.num_timesteps, seed=req.seed))
+    return out
+
+
+class TestGenerationService:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_batch_bit_identical_to_serial(self, artifacts, executor):
+        requests = _requests(artifacts)
+        with api.GenerationService(executor=executor, max_workers=3) as svc:
+            results = svc.run_batch(requests)
+        reference = _serial_reference(requests)
+        assert [r.request for r in results] == requests  # request order kept
+        for result, expected in zip(results, reference):
+            assert result.graph == expected
+            assert result.seconds >= 0
+
+    def test_repeated_batches_reuse_pool(self, artifacts):
+        requests = _requests(artifacts)[:2]
+        with api.GenerationService(executor="thread") as svc:
+            first = svc.run_batch(requests)
+            second = svc.run_batch(requests)
+        for a, b in zip(first, second):
+            assert a.graph == b.graph  # determinism across batches too
+
+    def test_empty_batch(self):
+        assert api.GenerationService(executor="serial").run_batch([]) == []
+
+    def test_thread_batches_do_not_leak_grad_mode(self, artifacts):
+        """Concurrent no_grad generates must not disable autodiff globally.
+
+        Grad mode is thread-local (see autodiff.tensor._GradMode);
+        with a process-global flag, interleaved save/restore across
+        worker threads could leave tape recording off for the rest of
+        the process.
+        """
+        from repro.autodiff import is_grad_enabled
+
+        requests = [
+            api.GenerationRequest(artifacts["VRDAG"], num_timesteps=2, seed=s)
+            for s in range(8)
+        ]
+        with api.GenerationService(executor="thread", max_workers=4) as svc:
+            svc.run_batch(requests)
+        assert is_grad_enabled()
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            api.GenerationService(executor="gpu")
+
+    def test_shards_on_non_vrdag_rejected(self, artifacts):
+        bad = api.GenerationRequest(
+            artifacts["ErdosRenyi"], num_timesteps=2, shards=2
+        )
+        with pytest.raises(ValueError, match="shards=1"):
+            api.GenerationService(executor="serial").run_batch([bad])
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="num_timesteps"):
+            api.GenerationRequest("x.npz", num_timesteps=0)
+        with pytest.raises(ValueError, match="shards"):
+            api.GenerationRequest("x.npz", num_timesteps=1, shards=0)

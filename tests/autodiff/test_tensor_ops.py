@@ -196,6 +196,32 @@ class TestBackwardSemantics:
         assert not y.requires_grad
         assert y._parents == ()
 
+    def test_no_grad_is_thread_local(self):
+        """no_grad in one thread must not disable recording in others."""
+        import threading
+
+        from repro.autodiff import is_grad_enabled, no_grad
+
+        seen = {}
+        release = threading.Event()
+
+        def hold_no_grad():
+            with no_grad():
+                release.wait(timeout=5)
+
+        worker = threading.Thread(target=hold_no_grad)
+        worker.start()
+        try:
+            seen["main"] = is_grad_enabled()
+            x = Tensor(np.ones(2), requires_grad=True)
+            y = x * 3
+            seen["recorded"] = y.requires_grad
+        finally:
+            release.set()
+            worker.join()
+        assert seen["main"] and seen["recorded"]
+        assert is_grad_enabled()  # worker exit restored only its own state
+
     def test_detach(self):
         x = Tensor(np.ones(3), requires_grad=True)
         y = (x * 2).detach()

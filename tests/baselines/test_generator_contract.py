@@ -1,40 +1,35 @@
-"""Contract tests every generator must satisfy (incl. VRDAG adapter)."""
+"""Contract tests every registered generator must satisfy.
+
+Parametrized over the :mod:`repro.api` registry, so a newly registered
+generator is automatically held to the protocol: ``fit()`` returns
+``self`` and sets ``fitted``, ``generate()`` before ``fit()`` raises,
+output is a valid dynamic attributed graph, generation is
+seed-deterministic, and construction round-trips as data
+(``to_config`` / ``from_config``).
+"""
 
 import numpy as np
 import pytest
 
-from repro.baselines import (
-    Dymond,
-    GenCAT,
-    GRAN,
-    NormalAttributeGenerator,
-    TagGen,
-    TGGAN,
-    TIGGER,
-)
-from repro.eval.harness import VRDAGGenerator
+from repro import api
 from repro.graph import DynamicAttributedGraph
 
-GENERATORS = [
-    ("Normal", lambda: NormalAttributeGenerator(seed=1)),
-    ("GenCAT", lambda: GenCAT(seed=1)),
-    ("GRAN", lambda: GRAN(epochs=5, seed=1)),
-    ("TagGen", lambda: TagGen(walks_per_edge=1.0, seed=1)),
-    ("TGGAN", lambda: TGGAN(walks_per_edge=1.0, adversarial_rounds=1,
-                            disc_epochs=3, seed=1)),
-    ("TIGGER", lambda: TIGGER(walks_per_edge=1.0, epochs=2, seed=1)),
-    ("Dymond", lambda: Dymond(seed=1)),
-    ("VRDAG", lambda: VRDAGGenerator(epochs=2, hidden_dim=8, latent_dim=4,
-                                     encode_dim=8, seed=1)),
-]
+GENERATOR_NAMES = api.list_generators()
 
 
-@pytest.fixture(params=GENERATORS, ids=[name for name, _ in GENERATORS])
+@pytest.fixture(params=GENERATOR_NAMES, ids=GENERATOR_NAMES)
 def generator(request):
-    return request.param[1]()
+    """A cheap instance of each registered generator."""
+    return api.get_generator(
+        request.param, seed=1, **api.smoke_config(request.param)
+    )
 
 
 class TestGeneratorContract:
+    def test_registry_covers_vrdag_and_the_baseline_field(self):
+        assert "VRDAG" in GENERATOR_NAMES
+        assert len(GENERATOR_NAMES) >= 12
+
     def test_generate_before_fit_raises(self, generator):
         with pytest.raises(RuntimeError, match="before fit"):
             generator.generate(3)
@@ -42,6 +37,13 @@ class TestGeneratorContract:
     def test_fit_returns_self(self, generator, tiny_graph):
         assert generator.fit(tiny_graph) is generator
         assert generator.fitted
+
+    def test_config_roundtrip(self, generator):
+        config = generator.to_config()
+        assert config["seed"] == 1
+        rebuilt = type(generator).from_config(**config)
+        assert rebuilt.to_config() == config
+        assert not rebuilt.fitted
 
     def test_output_is_valid_dynamic_graph(self, generator, tiny_graph):
         generator.fit(tiny_graph)

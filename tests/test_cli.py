@@ -13,6 +13,14 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "email" in out and "gdelt" in out
 
+    def test_list_generators(self, capsys):
+        from repro import api
+
+        assert main(["list-generators"]) == 0
+        out = capsys.readouterr().out
+        for name in api.list_generators():
+            assert name in out
+
     def test_train_and_generate(self, tmp_path, capsys):
         model_path = str(tmp_path / "m.npz")
         rc = main([
@@ -39,6 +47,92 @@ class TestCLI:
         ])
         assert rc == 0
         assert graph_io.load(sharded_path).store == g.store
+
+    def test_train_and_generate_baseline_artifact(self, tmp_path, capsys):
+        """Any registered generator trains and generates through the CLI."""
+        from repro import api
+        from repro.graph import io as graph_io
+
+        model_path = str(tmp_path / "taggen.npz")
+        rc = main([
+            "train", "--dataset", "email", "--scale", "0.012",
+            "--generator", "TagGen",
+            "--generator-config", '{"walks_per_edge": 1.0}',
+            "--model-out", model_path,
+        ])
+        assert rc == 0
+        assert api.is_artifact(model_path)
+        out_path = str(tmp_path / "taggen_g.npz")
+        rc = main([
+            "generate", "--model", model_path, "--timesteps", "3",
+            "--out", out_path,
+        ])
+        assert rc == 0
+        assert graph_io.load(out_path).num_timesteps == 3
+        # non-VRDAG artifacts reject the sharded decode with a clean exit
+        rc = main([
+            "generate", "--model", model_path, "--timesteps", "3",
+            "--out", out_path, "--shards", "2",
+        ])
+        assert rc == 2
+
+    def test_generate_reads_legacy_v1_model(self, tmp_path):
+        """Pre-artifact VRDAG files still drive the generate command."""
+        import numpy as np
+
+        from repro.api import load_artifact, save_artifact
+        from repro.graph import io as graph_io
+
+        artifact = str(tmp_path / "m.npz")
+        rc = main([
+            "train", "--dataset", "email", "--scale", "0.012",
+            "--epochs", "2", "--hidden-dim", "8", "--latent-dim", "4",
+            "--model-out", artifact,
+        ])
+        assert rc == 0
+        # rewrite the artifact in the legacy v1 layout by hand
+        from repro.core.persistence import _FORMAT_VERSION, vrdag_state
+        import json as json_mod
+
+        model = load_artifact(artifact).model
+        state = vrdag_state(model)
+        arrays = dict(state["arrays"])
+        arrays["calib::has_target_mean"] = np.array(
+            "calib::target_mean" in arrays
+        )
+        legacy = str(tmp_path / "legacy.npz")
+        np.savez_compressed(
+            legacy,
+            version=np.array(_FORMAT_VERSION),
+            config=np.frombuffer(
+                json_mod.dumps(state["config"]).encode(), dtype=np.uint8
+            ),
+            **arrays,
+        )
+        out_new, out_old = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        assert main(["generate", "--model", artifact, "--timesteps", "2",
+                     "--out", out_new]) == 0
+        assert main(["generate", "--model", legacy, "--timesteps", "2",
+                     "--out", out_old]) == 0
+        assert graph_io.load(out_old) == graph_io.load(out_new)
+
+    def test_run_pipeline_from_config(self, tmp_path, capsys):
+        config_path = tmp_path / "run.json"
+        config_path.write_text(json.dumps({
+            "dataset": "email",
+            "scale": 0.012,
+            "generator": "ErdosRenyi",
+            "metrics": ["structure"],
+            "timesteps": 2,
+        }))
+        out_path = tmp_path / "result.json"
+        rc = main(["run", "--config", str(config_path),
+                   "--out", str(out_path)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["generator"] == "ErdosRenyi"
+        assert "structure" in payload["metrics"]
+        assert json.loads(out_path.read_text()) == payload
 
     def test_ingest_event_log(self, tmp_path, capsys):
         import numpy as np
@@ -101,9 +195,41 @@ class TestCLI:
         assert "fidelity" in payload and "privacy" in payload
         assert payload["privacy"]["edge_overlap"] == 1.0
 
-    def test_compare_missing_file_raises(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main([
-                "compare", "--original", str(tmp_path / "nope.npz"),
-                "--synthetic", str(tmp_path / "nope2.npz"),
-            ])
+    def test_compare_json_flag(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.graph import DynamicAttributedGraph, io as graph_io
+
+        rng = np.random.default_rng(3)
+        adj = (rng.random((2, 10, 10)) < 0.2).astype(float)
+        for t in range(2):
+            np.fill_diagonal(adj[t], 0.0)
+        g = DynamicAttributedGraph.from_tensors(adj)
+        pa, pb = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        graph_io.save(g, pa)
+        graph_io.save(g, pb)
+        assert main(["compare", "--original", pa, "--synthetic", pb,
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 1  # single machine line
+        payload = json.loads(out)
+        assert payload["status"] == "ok"
+        assert payload["privacy"]["edge_overlap"] == 1.0
+
+    def test_compare_load_failure_exits_nonzero(self, tmp_path, capsys):
+        """CI can gate on compare: load failures are a clean nonzero exit."""
+        rc = main([
+            "compare", "--original", str(tmp_path / "nope.npz"),
+            "--synthetic", str(tmp_path / "nope2.npz"), "--json",
+        ])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "error"
+        assert "nope.npz" in payload["error"]
+        # same contract without --json: message on stderr, nonzero exit
+        rc = main([
+            "compare", "--original", str(tmp_path / "nope.npz"),
+            "--synthetic", str(tmp_path / "nope2.npz"),
+        ])
+        assert rc == 2
+        assert "nope.npz" in capsys.readouterr().err
