@@ -144,6 +144,7 @@ def bench_kernels(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     out.update(bench_generation(quick, repeats))
     out.update(bench_ingest(quick, repeats))
     out.update(bench_api(quick, repeats))
+    out.update(bench_workloads(quick, repeats))
 
     for entry in out.values():
         entry["speedup"] = (
@@ -408,6 +409,111 @@ def bench_api(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
             "overhead_fraction": overhead,
         }
     }
+
+
+def bench_workloads(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Query serving: batched kernels + QueryService vs per-query dispatch.
+
+    Two entries over a Table-I-shaped store-backed graph and a
+    point-lookup-heavy serving mix (``serving_mix()``):
+
+    - ``workloads.batched_queries`` — one workload replayed through
+      the batched vectorized kernels (``run_queries_batched``) vs the
+      per-query dispatch loop.  Result cardinalities are asserted
+      bit-identical before timing.
+    - ``workloads.service_throughput`` — the same workload served by
+      ``QueryService`` request batches; ``vectorized_s`` is the best
+      wall-clock across the (executor × pool size × batch size) grid
+      and the ``service`` sub-dict records the full queries/sec
+      curve.  Batched serving must beat per-query dispatch — the run
+      asserts it.
+    """
+    from repro.graph.store import (
+        TemporalEdgeStore,
+        track_dense_materializations,
+    )
+    from repro.workloads import (
+        GraphQueryEngine,
+        QueryRequest,
+        QueryService,
+        WorkloadConfig,
+        WorkloadGenerator,
+        run_queries_batched,
+        serving_mix,
+    )
+    from repro.workloads.generator import _run_query
+
+    n, m, t_len = (200, 2400, 8) if quick else (600, 7200, 10)
+    n_q = 500 if quick else 2000
+    rng = np.random.default_rng(17)
+    store = TemporalEdgeStore(
+        n, t_len,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.integers(0, t_len, size=m),
+        rng.normal(size=(t_len, n, 2)),
+    )
+    graph = DynamicAttributedGraph.from_store(store)
+    config = WorkloadConfig(num_queries=n_q, mix=serving_mix(), seed=5)
+    queries = WorkloadGenerator(graph, config).generate()
+    engine = GraphQueryEngine(graph)
+
+    def per_query() -> np.ndarray:
+        return np.array([_run_query(engine, q) for q in queries])
+
+    def batched() -> np.ndarray:
+        return run_queries_batched(engine, queries)[0]
+
+    with track_dense_materializations() as materialized:
+        ref_cards = per_query()  # also warms the plan cache
+        fast_cards = batched()
+    assert np.array_equal(ref_cards, fast_cards), (
+        "batched query parity violated"
+    )
+    assert materialized() == 0, "serving path touched a dense adjacency"
+    out: Dict[str, Dict[str, float]] = {
+        "workloads.batched_queries": {
+            "n": n,
+            "edges": m,
+            "num_queries": n_q,
+            "reference_s": _best_of(per_query, repeats),
+            "vectorized_s": _best_of(batched, repeats),
+        }
+    }
+
+    # -- concurrent serving: qps across the (executor, workers, batch) grid
+    grid = [("serial", 1), ("thread", 2), ("thread", 4)]
+    batch_sizes = (64, 256) if quick else (64, 256, 1024)
+    curve: Dict[str, Dict[str, float]] = {}
+    for executor, workers in grid:
+        with QueryService(engine, executor=executor,
+                          max_workers=workers) as service:
+            for batch_size in batch_sizes:
+                requests = [
+                    QueryRequest(queries[i:i + batch_size])
+                    for i in range(0, len(queries), batch_size)
+                ]
+                service.run_batch(requests)  # warm pool + plans
+                wall = _best_of(lambda: service.run_batch(requests), repeats)
+                curve[f"{executor}:w{workers}:b{batch_size}"] = {
+                    "wall_s": wall,
+                    "qps": n_q / wall if wall else float("inf"),
+                }
+    per_query_s = out["workloads.batched_queries"]["reference_s"]
+    best_wall = min(entry["wall_s"] for entry in curve.values())
+    assert best_wall < per_query_s, (
+        f"batched serving ({best_wall:.4f}s) failed to beat per-query "
+        f"dispatch ({per_query_s:.4f}s)"
+    )
+    out["workloads.service_throughput"] = {
+        "n": n,
+        "edges": m,
+        "num_queries": n_q,
+        "reference_s": per_query_s,
+        "vectorized_s": best_wall,
+        "service": curve,
+    }
+    return out
 
 
 def bench_experiments(quick: bool) -> Dict[str, object]:

@@ -16,6 +16,12 @@ generator:
   :class:`GenerationRequest` concurrently with per-request bit-exact
   determinism.
 
+Query serving rides the same surface: :class:`QueryService` /
+:class:`QueryRequest` / :class:`QueryResult` (from
+:mod:`repro.workloads`, re-exported here) serve workload query mixes
+over a shared engine and bounded plan cache — see
+``docs/workloads.md``.
+
 Quickstart::
 
     from repro import api
@@ -52,6 +58,11 @@ from repro.api.service import (
     GenerationResult,
     GenerationService,
 )
+from repro.workloads import (
+    QueryRequest,
+    QueryResult,
+    QueryService,
+)
 
 __all__ = [
     # registry
@@ -77,4 +88,8 @@ __all__ = [
     "GenerationRequest",
     "GenerationResult",
     "GenerationService",
+    # query serving (repro.workloads)
+    "QueryRequest",
+    "QueryResult",
+    "QueryService",
 ]

@@ -21,6 +21,8 @@ Examples
         --out /tmp/graph.npz --memory-budget-mb 64
     python -m repro.cli experiment --name table1 --dataset email
     python -m repro.cli compare --original a.npz --synthetic b.npz --json
+    python -m repro.cli bench-queries --graph /tmp/graph.npz \
+        --num-queries 2000 --batch-size 256 --executor thread --json
 """
 
 from __future__ import annotations
@@ -140,6 +142,41 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", type=float, default=0.03)
     exp.add_argument("--epochs", type=int, default=12)
 
+    bq = sub.add_parser(
+        "bench-queries",
+        help="replay a workload query mix through the batched "
+        "QueryService and report throughput (see docs/workloads.md)",
+    )
+    bq.add_argument("--graph", required=True,
+                    help="graph archive written by graph.io.save")
+    bq.add_argument("--num-queries", type=int, default=1000)
+    bq.add_argument("--batch-size", type=int, default=256)
+    bq.add_argument(
+        "--executor", choices=("serial", "thread"), default="thread",
+    )
+    bq.add_argument("--workers", type=int, default=None,
+                    help="thread-pool width (default: cpu count)")
+    bq.add_argument(
+        "--cache-budget-mb", type=float, default=None,
+        help="bound on the snapshot-plan cache (default: unbounded)",
+    )
+    bq.add_argument("--seed", type=int, default=0)
+    bq.add_argument(
+        "--mix", default=None,
+        help="JSON object of query-kind weights (default: the "
+        "point-lookup-heavy serving mix)",
+    )
+    bq.add_argument(
+        "--compare-per-query", action="store_true",
+        help="also run the per-query dispatch baseline and report "
+        "the batched speedup",
+    )
+    bq.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: single-line JSON with a status "
+        "field; load failures exit nonzero instead of raising",
+    )
+
     cmp_ = sub.add_parser(
         "compare",
         help="fidelity + leakage report between two saved graphs",
@@ -220,6 +257,116 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_bench_queries(args) -> int:
+    from repro.workloads import (
+        QueryKind,
+        QueryService,
+        WorkloadConfig,
+        execute_workload,
+        serving_mix,
+    )
+
+    def fail(message: str) -> int:
+        if args.json:
+            print(json.dumps({"status": "error", "error": message}))
+        else:
+            print(f"bench-queries: {message}", file=sys.stderr)
+        return 2
+
+    try:
+        graph = graph_io.load(args.graph)
+    except Exception as exc:
+        return fail(f"cannot load graph: {exc}")
+
+    mix = serving_mix()
+    if args.mix is not None:
+        kinds = {k.value: k for k in QueryKind}
+        try:
+            parsed = json.loads(args.mix)
+            if not isinstance(parsed, dict):
+                raise ValueError("--mix must be a JSON object")
+            mix = {kinds[name]: float(w) for name, w in parsed.items()}
+        except KeyError as exc:
+            return fail(f"unknown query kind {exc.args[0]!r}")
+        except (TypeError, ValueError) as exc:
+            return fail(f"invalid --mix: {exc}")
+    if graph.num_attributes == 0 and mix.pop(
+        QueryKind.ATTRIBUTE_RANGE, None
+    ) is not None and not mix:
+        return fail(
+            "mix is empty after dropping attribute_range (the graph "
+            "has no attributes)"
+        )
+    budget = (
+        int(args.cache_budget_mb * 1024 * 1024)
+        if args.cache_budget_mb is not None
+        else None
+    )
+    try:
+        config = WorkloadConfig(
+            num_queries=args.num_queries, mix=mix, seed=args.seed
+        )
+        service = QueryService(
+            graph,
+            executor=args.executor,
+            max_workers=args.workers,
+            cache_memory_budget_bytes=budget,
+        )
+    except ValueError as exc:
+        return fail(str(exc))
+    with service:
+        try:
+            # workload/config validation (weights, NaN probabilities,
+            # batch size, cache budget) surfaces here as ValueError
+            report, results = service.run_workload(
+                config, batch_size=args.batch_size
+            )
+        except ValueError as exc:
+            return fail(str(exc))
+        stats = service.plan_cache_stats()
+        payload = {
+            "status": "ok",
+            "graph": str(graph.statistics()),
+            "queries": report.total_queries,
+            "seconds": report.total_seconds,
+            "qps": report.throughput(),
+            "batch_size": args.batch_size,
+            "executor": args.executor,
+            "per_kind": {
+                kind: {
+                    "count": report.count_by_kind[kind],
+                    "mean_latency_s": report.latency_by_kind[kind],
+                    "mean_result_size": report.mean_result_size[kind],
+                }
+                for kind in sorted(report.count_by_kind)
+            },
+            "plan_cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "resident_bytes": stats.resident_bytes,
+            },
+        }
+        if args.compare_per_query:
+            # the replayed sequence is already in the results —
+            # rerun the identical queries through per-query dispatch
+            queries = [
+                q for r in results for q in r.request.queries
+            ]
+            baseline = execute_workload(service.engine, queries)
+            payload["per_query_qps"] = baseline.throughput()
+            payload["batched_speedup"] = (
+                baseline.total_seconds / report.total_seconds
+                if report.total_seconds
+                else float("inf")
+            )
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _cmd_compare(args) -> int:
     from repro.metrics import attribute_jsd, privacy_report, structure_metric_table
 
@@ -286,6 +433,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = _EXPERIMENTS[args.name](args)
         print(json.dumps(_jsonable(result), indent=2))
         return 0
+
+    if args.command == "bench-queries":
+        return _cmd_bench_queries(args)
 
     if args.command == "compare":
         return _cmd_compare(args)

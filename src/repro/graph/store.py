@@ -432,19 +432,41 @@ class TemporalEdgeStore:
         lo, hi = self.offsets[t], self.offsets[t + 1]
         return self.src[lo:hi], self.dst[lo:hi]
 
-    def csr_at(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Out-edge CSR of timestep ``t``: ``(indptr, indices)``, cached.
+    def compute_csr_at(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the out-edge CSR of timestep ``t`` — uncached.
 
-        ``indices`` is the zero-copy ``dst`` slice; ``indptr`` has
-        shape ``(N + 1,)`` relative to that slice.
+        The single CSR construction shared by :meth:`csr_at` (which
+        caches here, unboundedly) and external bounded plan caches
+        (:class:`repro.workloads.cache.SnapshotPlanCache`), so the two
+        cache layers can never disagree on index layout.  ``indices``
+        is the zero-copy ``dst`` slice; ``indptr`` has shape
+        ``(N + 1,)`` relative to that slice.
         """
+        src, dst = self.edges_at(t)
+        counts = np.bincount(src, minlength=self.num_nodes)
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, dst
+
+    def compute_csc_at(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the in-edge CSR of timestep ``t`` — uncached.
+
+        One O(M_t log M_t) re-sort; see :meth:`compute_csr_at` for why
+        this is split from the caching accessor.
+        """
+        src, dst = self.edges_at(t)
+        order = np.lexsort((src, dst))
+        rev_src = src[order]
+        counts = np.bincount(dst, minlength=self.num_nodes)
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, rev_src
+
+    def csr_at(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Out-edge CSR of timestep ``t``: ``(indptr, indices)``, cached."""
         cached = self._csr_cache.get(t)
         if cached is None:
-            src, dst = self.edges_at(t)
-            counts = np.bincount(src, minlength=self.num_nodes)
-            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
-            np.cumsum(counts, out=indptr[1:])
-            cached = (indptr, dst)
+            cached = self.compute_csr_at(t)
             self._csr_cache[t] = cached
         return cached
 
@@ -452,13 +474,7 @@ class TemporalEdgeStore:
         """In-edge CSR (reverse index) of timestep ``t``, cached."""
         cached = self._csc_cache.get(t)
         if cached is None:
-            src, dst = self.edges_at(t)
-            order = np.lexsort((src, dst))
-            rev_src = src[order]
-            counts = np.bincount(dst, minlength=self.num_nodes)
-            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
-            np.cumsum(counts, out=indptr[1:])
-            cached = (indptr, rev_src)
+            cached = self.compute_csc_at(t)
             self._csc_cache[t] = cached
         return cached
 

@@ -2,19 +2,37 @@
 
 The paper motivates graph generation first and foremost as *benchmark
 data for graph processing systems*: a DBMS vendor needs representative
-data **and workloads**.  This package supplies the workload half:
+data **and workloads**.  This package supplies the workload half, as a
+small serving stack (documented in ``docs/workloads.md``):
 
-* :class:`GraphQueryEngine` — an adjacency-indexed, in-memory query
-  engine over a :class:`~repro.graph.dynamic.DynamicAttributedGraph`
-  (neighbour lookups, k-hop expansion, triangle counting, attribute
-  range scans, time-respecting reachability, top-degree queries).
+* :class:`GraphQueryEngine` — an in-memory query engine over a
+  :class:`~repro.graph.dynamic.DynamicAttributedGraph`: per-query
+  methods (neighbour lookups, k-hop expansion, triangle counting,
+  attribute range scans, time-respecting reachability, top-degree
+  queries) plus batched vectorized kernels (``batch_degrees``,
+  ``batch_neighbors``, ``batch_has_edge``,
+  ``batch_edge_window_counts``) answering whole query columns in
+  bulk, bit-identically.
+* :class:`SnapshotPlanCache` — the bounded LRU the engine's
+  per-timestep CSR/CSC/attribute/edge-key plans live in
+  (``memory_budget_bytes`` sizing).
 * :class:`WorkloadConfig` / :class:`WorkloadGenerator` — Zipf-skewed
-  query mixes mirroring OLTP-style graph workloads.
-* :func:`execute_workload` — run a workload and collect the per-class
-  latency/result profile used to compare engines on original vs
+  query mixes mirroring OLTP-style graph workloads
+  (:func:`serving_mix` for the point-lookup-heavy serving profile).
+* :func:`execute_workload` / :func:`execute_workload_batched` — run a
+  workload per-query or in bulk and collect the per-class
+  latency/cardinality profile used to compare engines on original vs
   synthetic data.
+* :class:`QueryService` — concurrent request-batch serving over one
+  shared engine and plan cache (also exported via :mod:`repro.api`).
 """
 
+from repro.workloads.batch import (
+    BATCHED_KINDS,
+    execute_workload_batched,
+    run_queries_batched,
+)
+from repro.workloads.cache import PlanCacheStats, SnapshotPlanCache
 from repro.workloads.engine import GraphQueryEngine
 from repro.workloads.generator import (
     Query,
@@ -23,14 +41,31 @@ from repro.workloads.generator import (
     WorkloadGenerator,
     WorkloadReport,
     execute_workload,
+    serving_mix,
+)
+from repro.workloads.service import (
+    SERVICE_EXECUTORS,
+    QueryRequest,
+    QueryResult,
+    QueryService,
 )
 
 __all__ = [
+    "BATCHED_KINDS",
     "GraphQueryEngine",
+    "PlanCacheStats",
     "Query",
     "QueryKind",
+    "QueryRequest",
+    "QueryResult",
+    "QueryService",
+    "SERVICE_EXECUTORS",
+    "SnapshotPlanCache",
     "WorkloadConfig",
     "WorkloadGenerator",
     "WorkloadReport",
     "execute_workload",
+    "execute_workload_batched",
+    "run_queries_batched",
+    "serving_mix",
 ]

@@ -1,0 +1,260 @@
+"""Bounded snapshot-plan cache: the serving layer's index memory model.
+
+A *plan* is a per-timestep (or whole-graph) index materialization a
+query kernel runs against: the forward CSR of one snapshot, its
+reverse CSC, a sorted attribute order for range scans, or the global
+sorted edge-key columns the temporal kernels binary-search.  The
+:class:`~repro.graph.store.TemporalEdgeStore` caches CSR/CSC per
+timestep *unboundedly* — fine for analytics sweeps that touch every
+timestep once, wrong for a long-lived serving process where T is large
+and traffic concentrates on a hot subset of timesteps.
+
+:class:`SnapshotPlanCache` is the bounded counterpart: an LRU over
+plan materializations with ``memory_budget_bytes``-style sizing that
+mirrors :class:`~repro.graph.streams.StreamingStoreBuilder` — the
+budget bounds the bytes *owned* by cached plans (zero-copy views of
+the store's shared columns cost nothing and are not charged), and the
+least-recently-used plans are evicted once the owned total exceeds it.
+Evicting a plan never changes results — the next request rebuilds it
+from the store columns — so the budget is purely a residency knob.
+
+The cache is thread-safe (one lock around the LRU bookkeeping; plan
+construction runs outside it) so a single instance can back every
+request of a concurrent :class:`~repro.workloads.service.QueryService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PlanCacheStats", "SnapshotPlanCache"]
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Point-in-time counters of one :class:`SnapshotPlanCache`.
+
+    ``hits`` / ``misses`` count plan lookups (a miss includes the
+    build); ``evictions`` counts plans dropped to stay under budget;
+    ``resident_plans`` / ``resident_bytes`` describe what is cached
+    *now* (owned bytes only — zero-copy column views are free).
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    resident_plans: int
+    resident_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SnapshotPlanCache:
+    """Bounded LRU over per-timestep index materializations.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.graph.store.TemporalEdgeStore` plans are
+        derived from.  The cache never populates the store's own
+        (unbounded) ``csr_at`` / ``csc_at`` caches — it builds plans
+        straight from the zero-copy column slices, so *this* object's
+        budget is the serving path's whole index footprint.
+    memory_budget_bytes:
+        Bound on the bytes owned by resident plans.  ``None`` (the
+        default) means unbounded — parity with the store's own caches.
+        The most recently used plan is always kept resident even if it
+        alone exceeds the budget (a query in flight needs its plan);
+        everything else is evicted LRU-first.
+    max_plans:
+        Optional additional bound on the number of resident plans.
+
+    Plans are immutable (tuples of arrays); a plan handed to a caller
+    stays valid after eviction, eviction only drops the cache's
+    reference.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        memory_budget_bytes: Optional[int] = None,
+        max_plans: Optional[int] = None,
+    ):
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        if max_plans is not None and max_plans < 1:
+            raise ValueError("max_plans must be >= 1")
+        self.store = store
+        self.memory_budget_bytes = memory_budget_bytes
+        self.max_plans = max_plans
+        self._plans: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _get_or_build(
+        self, key: Tuple, build: Callable[[], Tuple[object, int]]
+    ):
+        """Return the plan under ``key``, building it on a miss.
+
+        ``build`` returns ``(plan, owned_bytes)`` and runs *outside*
+        the lock: plans are deterministic, so a racing double-build
+        wastes work but can never corrupt the cache — the second
+        writer finds the key present and discards its copy.
+        """
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+                return entry[0]
+        plan, owned = build()
+        with self._lock:
+            self._misses += 1
+            entry = self._plans.get(key)
+            if entry is not None:  # lost a build race; keep the winner
+                self._plans.move_to_end(key)
+                return entry[0]
+            self._plans[key] = (plan, owned)
+            self._bytes += owned
+            self._evict_locked()
+        return plan
+
+    def _evict_locked(self) -> None:
+        """Drop LRU plans until under budget (newest always survives)."""
+        def over() -> bool:
+            if self.max_plans is not None and len(self._plans) > self.max_plans:
+                return True
+            return (
+                self.memory_budget_bytes is not None
+                and self._bytes > self.memory_budget_bytes
+            )
+
+        while len(self._plans) > 1 and over():
+            _, (_, owned) = self._plans.popitem(last=False)
+            self._bytes -= owned
+            self._evictions += 1
+
+    @staticmethod
+    def _owned_nbytes(*arrays: np.ndarray) -> int:
+        """Bytes the cache is charged for: fresh arrays, not views.
+
+        An array whose ``base`` is set is a view of memory someone
+        else owns (the store's shared columns) — holding it is free.
+        """
+        return sum(a.nbytes for a in arrays if a.base is None)
+
+    # ------------------------------------------------------------------
+    # plans
+    # ------------------------------------------------------------------
+    def csr(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Forward CSR of timestep ``t``: ``(indptr, indices)``.
+
+        ``indices`` is the zero-copy ``dst`` column slice (CSR order
+        is the store's canonical order), so only the ``(N + 1,)``
+        ``indptr`` counts against the budget.
+        """
+        def build():
+            indptr, indices = self.store.compute_csr_at(t)
+            return (indptr, indices), self._owned_nbytes(indptr, indices)
+
+        return self._get_or_build(("csr", t), build)
+
+    def csc(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Reverse CSR (in-edges) of timestep ``t``: ``(indptr, indices)``.
+
+        Costs one O(M_t log M_t) re-sort to build; both arrays are
+        fresh and count against the budget.
+        """
+        def build():
+            indptr, indices = self.store.compute_csc_at(t)
+            return (indptr, indices), self._owned_nbytes(indptr, indices)
+
+        return self._get_or_build(("csc", t), build)
+
+    def attribute_order(self, t: int, dim: int) -> np.ndarray:
+        """Stable argsort of attribute ``dim`` at timestep ``t``."""
+        def build():
+            values = self.store.attributes[t, :, dim]
+            order = np.argsort(values, kind="stable")
+            return order, self._owned_nbytes(order)
+
+        return self._get_or_build(("attr", t, dim), build)
+
+    def temporal_keys(self) -> np.ndarray:
+        """Sorted composite ``(t, src, dst)`` edge keys (whole graph).
+
+        The store's canonical order makes these strictly increasing;
+        the edge-existence kernel answers a whole batch with one
+        ``np.searchsorted`` against them.
+        """
+        def build():
+            keys = self.store.temporal_edge_keys()
+            return keys, self._owned_nbytes(keys)
+
+        return self._get_or_build(("temporal_keys",), build)
+
+    def pair_keys(self) -> np.ndarray:
+        """Sorted composite ``(src, dst, t)`` edge keys (whole graph).
+
+        The per-*pair* orientation: all timesteps of one ``(u, v)``
+        edge are contiguous, so a temporal-range query is two binary
+        searches.  Built with one O(M log M) sort, then reused.
+        """
+        def build():
+            store = self.store
+            keys = np.sort(
+                (store.src * store.num_nodes + store.dst)
+                * store.num_timesteps
+                + store.t
+            )
+            return keys, self._owned_nbytes(keys)
+
+        return self._get_or_build(("pair_keys",), build)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PlanCacheStats:
+        """Snapshot of the hit/miss/eviction/residency counters."""
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                resident_plans=len(self._plans),
+                resident_bytes=self._bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop every resident plan (counters keep accumulating)."""
+        with self._lock:
+            self._evictions += len(self._plans)
+            self._plans.clear()
+            self._bytes = 0
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        budget = (
+            "unbounded"
+            if self.memory_budget_bytes is None
+            else f"{self.memory_budget_bytes}B"
+        )
+        return (
+            f"SnapshotPlanCache(plans={s.resident_plans}, "
+            f"bytes={s.resident_bytes}, budget={budget}, "
+            f"hit_rate={s.hit_rate:.2f})"
+        )

@@ -1,12 +1,24 @@
 """Workload generation and execution over the query engine.
 
 Mirrors how graph-DB benchmarks are specified: a *mix* of query
-classes with weights, Zipf-skewed node selection (real workloads hammer
-hub entities), and timestep selection biased toward recent snapshots.
-``execute_workload`` runs a workload against a
-:class:`~repro.workloads.engine.GraphQueryEngine` and returns the
-per-class latency / result-cardinality profile — the numbers a vendor
-compares between the customer's private graph and its synthetic twin.
+classes with weights, Zipf-skewed node selection (real workloads
+hammer hub entities), and timestep selection biased toward recent
+snapshots.  A :class:`WorkloadGenerator` draws a deterministic query
+sequence against a specific graph's degree profile; the sequence can
+then be executed three ways, all producing identical per-query result
+cardinalities:
+
+* :func:`execute_workload` — one Python call per query (the reference
+  dispatch path), returning the per-class latency / cardinality
+  profile a vendor compares between the customer's private graph and
+  its synthetic twin;
+* :func:`~repro.workloads.batch.execute_workload_batched` — the same
+  mix answered through the batched vectorized kernels;
+* :class:`~repro.workloads.service.QueryService` — the mix split into
+  request batches and served over a concurrent executor pool.
+
+See ``docs/workloads.md`` for the query model and the guarantees
+connecting the three paths.
 """
 
 from __future__ import annotations
@@ -14,7 +26,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +34,14 @@ from repro.workloads.engine import GraphQueryEngine
 
 
 class QueryKind(enum.Enum):
-    """The benchmark query classes."""
+    """The benchmark query classes.
+
+    ``EDGE_WINDOW`` (how many snapshots of ``[t0, t1]`` contain an
+    edge) is the temporal-range class served by the batched
+    ``searchsorted`` kernel; it is not part of the default OLTP mix
+    but is included in serving-oriented mixes such as
+    :func:`serving_mix`.
+    """
 
     OUT_NEIGHBORS = "out_neighbors"
     IN_NEIGHBORS = "in_neighbors"
@@ -32,15 +51,39 @@ class QueryKind(enum.Enum):
     ATTRIBUTE_RANGE = "attribute_range"
     DEGREE_TOPK = "degree_topk"
     TEMPORAL_REACH = "temporal_reach"
+    EDGE_WINDOW = "edge_window"
 
 
 @dataclass(frozen=True)
 class Query:
-    """One generated query instance."""
+    """One generated query instance.
+
+    ``t`` is the primary snapshot the query touches (for window
+    queries, the window start); ``args`` are the kind-specific
+    positional arguments consumed by the executors.
+    """
 
     kind: QueryKind
     t: int
     args: Tuple
+
+
+def serving_mix() -> Dict[QueryKind, float]:
+    """A point-lookup-heavy mix shaped like high-QPS serving traffic.
+
+    Every class in it has either a batched kernel or an O(N log N)
+    indexed scan — the mix the throughput benches and the
+    ``bench-queries`` CLI default to (the default
+    :class:`WorkloadConfig` mix instead mirrors an analytics-leaning
+    OLTP profile with traversals and pattern counts).
+    """
+    return {
+        QueryKind.OUT_NEIGHBORS: 0.30,
+        QueryKind.IN_NEIGHBORS: 0.20,
+        QueryKind.HAS_EDGE: 0.30,
+        QueryKind.EDGE_WINDOW: 0.10,
+        QueryKind.ATTRIBUTE_RANGE: 0.10,
+    }
 
 
 @dataclass
@@ -51,6 +94,10 @@ class WorkloadConfig:
     internally).  ``zipf_s`` controls node-selection skew (1.0 ≈ web
     workloads; 0 = uniform).  ``recent_bias`` in [0, 1) biases timestep
     choice toward the latest snapshots (0 = uniform over time).
+    ``topk`` is the ``k`` of DEGREE_TOPK queries and
+    ``range_width_quantile`` the width (as a quantile span) of
+    ATTRIBUTE_RANGE scans.  ``seed`` makes the drawn sequence
+    deterministic.
     """
 
     num_queries: int = 1000
@@ -93,6 +140,10 @@ class WorkloadGenerator:
 
     Node popularity ranks follow the graph's time-pooled total degree,
     so the Zipf head lands on actual hubs (as it does in production).
+    The drawn sequence is a pure function of ``(graph, config)`` —
+    :meth:`generate` is deterministic per seed, which is what lets the
+    serving layer promise bit-identical replay regardless of batch
+    split or executor.
     """
 
     def __init__(self, graph, config: Optional[WorkloadConfig] = None):
@@ -158,7 +209,7 @@ class WorkloadGenerator:
                 args = (dim, lo, hi)
             elif kind == QueryKind.DEGREE_TOPK:
                 args = (cfg.topk,)
-            elif kind == QueryKind.TEMPORAL_REACH:
+            elif kind in (QueryKind.TEMPORAL_REACH, QueryKind.EDGE_WINDOW):
                 t0 = int(rng.choice(t_len, p=time_p))
                 t1 = int(rng.integers(t0, t_len))
                 args = (
@@ -176,13 +227,33 @@ class WorkloadGenerator:
 
 @dataclass
 class WorkloadReport:
-    """Per-class execution profile of one workload run."""
+    """Per-class execution profile of one workload run.
+
+    Fields
+    ------
+    ``total_queries``:
+        Queries executed (the workload size after any skipped classes).
+    ``total_seconds``:
+        Wall-clock of the whole run; for concurrent service runs this
+        is the *batch* wall-clock, so :meth:`throughput` reflects the
+        pool, not the per-query sum.
+    ``latency_by_kind``:
+        Mean seconds per query, per query class.  Batched executors
+        amortize each kernel call over its group, so this stays
+        comparable with the per-query dispatch profile.
+    ``count_by_kind``:
+        Queries executed per class.
+    ``mean_result_size``:
+        Mean result cardinality per class — identical across the
+        per-query, batched and service execution paths (latency
+        columns are the only thing dispatch may change).
+    """
 
     total_queries: int
     total_seconds: float
-    latency_by_kind: Dict[str, float]       # mean seconds per query
+    latency_by_kind: Dict[str, float]
     count_by_kind: Dict[str, int]
-    mean_result_size: Dict[str, float]      # mean result cardinality
+    mean_result_size: Dict[str, float]
 
     def throughput(self) -> float:
         """Queries per second over the whole run."""
@@ -192,7 +263,7 @@ class WorkloadReport:
 
 
 def _run_query(engine: GraphQueryEngine, q: Query) -> int:
-    """Execute one query; returns the result cardinality."""
+    """Execute one query via the per-query path; returns the cardinality."""
     if q.kind == QueryKind.OUT_NEIGHBORS:
         return len(engine.out_neighbors(q.args[0], q.t))
     if q.kind == QueryKind.IN_NEIGHBORS:
@@ -210,16 +281,20 @@ def _run_query(engine: GraphQueryEngine, q: Query) -> int:
     if q.kind == QueryKind.TEMPORAL_REACH:
         u, v, t0, t1 = q.args
         return int(engine.temporal_reachable(u, v, t0, t1))
+    if q.kind == QueryKind.EDGE_WINDOW:
+        u, v, t0, t1 = q.args
+        return engine.edge_window_count(u, v, t0, t1)
     raise AssertionError(q.kind)  # pragma: no cover - enum is closed
 
 
 def execute_workload(
-    engine: GraphQueryEngine, queries: List[Query]
+    engine: GraphQueryEngine, queries: Sequence[Query]
 ) -> WorkloadReport:
-    """Run every query, timing per class.
+    """Run every query through per-query dispatch, timing per class.
 
-    Raises ``ValueError`` on an empty workload — an empty benchmark is
-    a configuration error, not a 0-second success.
+    The reference execution path (and the baseline the serving benches
+    compare against).  Raises ``ValueError`` on an empty workload — an
+    empty benchmark is a configuration error, not a 0-second success.
     """
     if not queries:
         raise ValueError("empty workload")

@@ -1,0 +1,269 @@
+"""Concurrent query serving: many request batches, one shared engine.
+
+:class:`QueryService` is the workload counterpart of
+:class:`~repro.api.service.GenerationService`: a batch of
+:class:`QueryRequest`\\ s — each a sequence of
+:class:`~repro.workloads.generator.Query` instances — is executed over
+a ``serial`` or ``thread`` executor against **one shared engine**, and
+every request's results are deterministic:
+
+* Queries are pure reads over an immutable store, so a request's
+  result cardinalities are a function of ``(graph, request)`` alone —
+  batch composition, batch order, executor and pool width are pure
+  deployment knobs (pinned by ``tests/workloads/test_service.py``).
+* Results come back in request order regardless of completion order.
+* All requests share one bounded
+  :class:`~repro.workloads.cache.SnapshotPlanCache`, so a hot
+  timestep's CSR/CSC plans are materialized once and reused across
+  the whole request stream — that sharing is the point of serving
+  through one service instead of per-request engines.
+
+There is deliberately no ``process`` executor: the engine's value is
+the *shared* in-memory store and plan cache, and shipping both to
+worker processes would serialize the graph per worker — that
+deployment is "run one service per process behind a router", not a
+pool mode.  The kernels the requests spend their time in
+(``searchsorted``, fancy gathers) release the GIL, so threads overlap
+on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.profiling import profiler
+from repro.workloads.batch import run_queries_batched
+from repro.workloads.engine import GraphQueryEngine
+from repro.workloads.generator import (
+    Query,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadReport,
+    _run_query,
+)
+
+__all__ = [
+    "SERVICE_EXECUTORS",
+    "QueryRequest",
+    "QueryResult",
+    "QueryService",
+]
+
+#: Executor families the service supports (see the module docstring
+#: for why ``process`` is intentionally absent).
+SERVICE_EXECUTORS = ("serial", "thread")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of serving work: an ordered sequence of queries."""
+
+    queries: Tuple[Query, ...]
+
+    def __init__(self, queries: Sequence[Query]):
+        object.__setattr__(self, "queries", tuple(queries))
+        if not self.queries:
+            raise ValueError("a QueryRequest needs at least one query")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+@dataclass
+class QueryResult:
+    """A request together with its results and wall-clock.
+
+    ``cardinalities[i]`` is the result cardinality of
+    ``request.queries[i]`` — bit-identical to per-query dispatch.
+    ``seconds_by_kind`` attributes the request's execution time to
+    query classes (kernel-call granularity for batched classes).
+    """
+
+    request: QueryRequest
+    cardinalities: np.ndarray
+    seconds: float
+    seconds_by_kind: Dict[str, float]
+
+
+class QueryService:
+    """Concurrent executor of query-request batches over one engine.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.dynamic.DynamicAttributedGraph` to
+        serve, or an existing :class:`GraphQueryEngine` (e.g. one
+        built via ``GraphQueryEngine.from_event_stream``).
+    executor:
+        ``"serial"`` (in-process loop) or ``"thread"`` (the batched
+        kernels are GIL-releasing NumPy, so threads overlap).
+    max_workers:
+        Thread-pool width; defaults to ``cpu_count``.  The pool is
+        created lazily on the first batch and reused; use the service
+        as a context manager (or call :meth:`close`) to release it.
+    cache_memory_budget_bytes:
+        Budget for the shared plan cache when the service builds its
+        own engine (ignored when an engine is passed in — its cache,
+        and its budget, are adopted).
+    batched:
+        ``False`` forces per-query dispatch inside every request —
+        the comparison baseline the throughput benches use; results
+        are identical either way.
+    """
+
+    def __init__(
+        self,
+        graph: Union["DynamicAttributedGraph", GraphQueryEngine],
+        *,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        cache_memory_budget_bytes: Optional[int] = None,
+        batched: bool = True,
+    ):
+        if executor not in SERVICE_EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{SERVICE_EXECUTORS} (query serving shares one in-memory "
+                "store, so process pools are a deployment topology, not a "
+                "pool mode)"
+            )
+        if isinstance(graph, GraphQueryEngine):
+            self.engine = graph
+        else:
+            self.engine = GraphQueryEngine(
+                graph,
+                cache_memory_budget_bytes=cache_memory_budget_bytes,
+            )
+        self.executor = executor
+        self.max_workers = max_workers
+        self.batched = batched
+        self._pool = None
+        self._pool_init = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _workers(self) -> int:
+        import os
+
+        if self.max_workers is not None:
+            return max(int(self.max_workers), 1)
+        return max(os.cpu_count() or 1, 1)
+
+    def _execute_request(self, request: QueryRequest) -> QueryResult:
+        start = perf_counter()
+        if self.batched:
+            cards, by_kind = run_queries_batched(
+                self.engine, request.queries
+            )
+        else:
+            cards = np.zeros(len(request.queries), dtype=np.int64)
+            by_kind = {}
+            for i, q in enumerate(request.queries):
+                q0 = perf_counter()
+                cards[i] = _run_query(self.engine, q)
+                by_kind[q.kind.value] = by_kind.get(q.kind.value, 0.0) + (
+                    perf_counter() - q0
+                )
+        return QueryResult(
+            request=request,
+            cardinalities=cards,
+            seconds=perf_counter() - start,
+            seconds_by_kind=by_kind,
+        )
+
+    def _map(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
+        if self.executor == "serial":
+            return [self._execute_request(r) for r in requests]
+        if self._pool is None:
+            # locked: concurrent first batches must agree on one pool,
+            # or the loser's pool would leak past close()
+            with self._pool_init:
+                if self._pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._workers(),
+                        thread_name_prefix="query-service",
+                    )
+        return list(self._pool.map(self._execute_request, requests))
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[QueryResult]:
+        """Execute every request; results are in request order."""
+        requests = list(requests)
+        if not requests:
+            return []
+        with profiler.timer("workloads.service.run_batch"):
+            return self._map(requests)
+
+    def run_workload(
+        self,
+        config: WorkloadConfig,
+        *,
+        batch_size: int = 1024,
+    ) -> Tuple[WorkloadReport, List[QueryResult]]:
+        """Generate a workload mix and replay it through the service.
+
+        The paper-style entry point: the mix described by ``config``
+        is drawn against the served graph
+        (:class:`WorkloadGenerator`), split into ``batch_size``-query
+        requests, and executed on the service's pool.  Returns the
+        aggregate :class:`WorkloadReport` (``total_seconds`` is the
+        concurrent wall-clock, so ``throughput()`` reflects the pool)
+        together with the per-request results.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        queries = WorkloadGenerator(self.engine.graph, config).generate()
+        if not queries:
+            raise ValueError("workload generated no queries")
+        requests = [
+            QueryRequest(queries[i:i + batch_size])
+            for i in range(0, len(queries), batch_size)
+        ]
+        start = perf_counter()
+        results = self.run_batch(requests)
+        total = perf_counter() - start
+        latency: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        sizes: Dict[str, float] = {}
+        for result in results:
+            for key, s in result.seconds_by_kind.items():
+                latency[key] = latency.get(key, 0.0) + s
+            for q, card in zip(
+                result.request.queries, result.cardinalities.tolist()
+            ):
+                key = q.kind.value
+                counts[key] = counts.get(key, 0) + 1
+                sizes[key] = sizes.get(key, 0.0) + card
+        report = WorkloadReport(
+            total_queries=len(queries),
+            total_seconds=total,
+            latency_by_kind={k: latency[k] / counts[k] for k in counts},
+            count_by_kind=counts,
+            mean_result_size={k: sizes[k] / counts[k] for k in counts},
+        )
+        return report, results
+
+    # ------------------------------------------------------------------
+    def plan_cache_stats(self):
+        """Hit/miss/eviction counters of the shared plan cache."""
+        return self.engine.plans.stats()
+
+    def close(self) -> None:
+        """Shut down the thread pool (no-op for ``serial``)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -33,6 +33,7 @@ def test_every_example_is_covered():
     """New examples must land in this suite automatically."""
     assert EXAMPLE_FILES, "examples directory went missing"
     assert "sharded_generation.py" in EXAMPLE_FILES
+    assert "query_serving.py" in EXAMPLE_FILES
 
 
 @pytest.mark.parametrize("name", EXAMPLE_FILES)

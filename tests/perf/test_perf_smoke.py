@@ -87,3 +87,35 @@ class TestPerfSmoke:
             return out
 
         _assert_not_slower(lambda: sampler.sample_walks(100, 8), scalar)
+
+    def test_batched_queries(self):
+        from repro.graph import DynamicAttributedGraph
+        from repro.graph.store import TemporalEdgeStore
+        from repro.workloads import (
+            GraphQueryEngine,
+            WorkloadConfig,
+            WorkloadGenerator,
+            run_queries_batched,
+            serving_mix,
+        )
+        from repro.workloads.generator import _run_query
+
+        rng = np.random.default_rng(3)
+        n, m, t_len = 120, 900, 6
+        graph = DynamicAttributedGraph.from_store(TemporalEdgeStore(
+            n, t_len,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.integers(0, t_len, size=m),
+            rng.normal(size=(t_len, n, 2)),
+        ))
+        queries = WorkloadGenerator(
+            graph, WorkloadConfig(num_queries=300, mix=serving_mix(), seed=1)
+        ).generate()
+        engine = GraphQueryEngine(graph)
+        engine.batch_has_edge([0], [1], [0])  # warm the key plans
+
+        _assert_not_slower(
+            lambda: run_queries_batched(engine, queries),
+            lambda: [_run_query(engine, q) for q in queries],
+        )

@@ -233,3 +233,142 @@ class TestCLI:
         ])
         assert rc == 2
         assert "nope.npz" in capsys.readouterr().err
+
+    def _save_workload_graph(self, tmp_path):
+        import numpy as np
+
+        from repro.graph import DynamicAttributedGraph
+        from repro.graph import io as graph_io
+        from repro.graph.store import TemporalEdgeStore
+
+        rng = np.random.default_rng(0)
+        n, m, t_len = 30, 250, 4
+        graph = DynamicAttributedGraph.from_store(TemporalEdgeStore(
+            n, t_len,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.integers(0, t_len, size=m),
+            rng.normal(size=(t_len, n, 2)),
+        ))
+        path = str(tmp_path / "wl.npz")
+        graph_io.save(graph, path)
+        return path
+
+    def test_bench_queries_json_report(self, tmp_path, capsys):
+        path = self._save_workload_graph(tmp_path)
+        rc = main([
+            "bench-queries", "--graph", path, "--num-queries", "120",
+            "--batch-size", "32", "--executor", "serial",
+            "--compare-per-query", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        assert payload["queries"] == 120
+        assert payload["qps"] > 0
+        assert payload["per_kind"]
+        assert "batched_speedup" in payload
+        assert payload["plan_cache"]["misses"] > 0
+
+    def test_bench_queries_custom_mix_and_cache_budget(
+        self, tmp_path, capsys
+    ):
+        path = self._save_workload_graph(tmp_path)
+        rc = main([
+            "bench-queries", "--graph", path, "--num-queries", "60",
+            "--mix", '{"has_edge": 0.5, "out_neighbors": 0.5}',
+            "--cache-budget-mb", "0.001", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["per_kind"]) == {"has_edge", "out_neighbors"}
+
+    def test_bench_queries_unknown_mix_kind_rejected(self, tmp_path, capsys):
+        path = self._save_workload_graph(tmp_path)
+        rc = main([
+            "bench-queries", "--graph", path, "--mix",
+            '{"teleport": 1.0}', "--json",
+        ])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "error"
+        assert "teleport" in payload["error"]
+
+    def test_bench_queries_malformed_mix_rejected(self, tmp_path, capsys):
+        path = self._save_workload_graph(tmp_path)
+        for bad in ('{bad', '["has_edge"]', '{"has_edge": "lots"}'):
+            rc = main([
+                "bench-queries", "--graph", path, "--mix", bad, "--json",
+            ])
+            assert rc == 2, bad
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["status"] == "error"
+
+    def test_bench_queries_invalid_settings_fail_cleanly(
+        self, tmp_path, capsys
+    ):
+        """Config/weight errors keep the single-line JSON contract."""
+        path = self._save_workload_graph(tmp_path)
+        bad_invocations = [
+            ["--mix", '{"has_edge": -1.0}'],     # negative weight
+            ["--mix", '{"has_edge": NaN}'],      # NaN probability
+            ["--mix", "{}"],                     # empty custom mix
+            ["--num-queries", "0"],
+            ["--cache-budget-mb", "0"],
+            ["--batch-size", "0"],
+        ]
+        for extra in bad_invocations:
+            rc = main(["bench-queries", "--graph", path, "--json"] + extra)
+            assert rc == 2, extra
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["status"] == "error", extra
+
+    def test_bench_queries_attribute_free_graph_empty_mix(
+        self, tmp_path, capsys
+    ):
+        import numpy as np
+
+        from repro.graph import DynamicAttributedGraph
+        from repro.graph import io as graph_io
+        from repro.graph.store import TemporalEdgeStore
+
+        rng = np.random.default_rng(1)
+        graph = DynamicAttributedGraph.from_store(TemporalEdgeStore(
+            20, 3,
+            rng.integers(0, 20, size=80),
+            rng.integers(0, 20, size=80),
+            rng.integers(0, 3, size=80),
+        ))
+        path = str(tmp_path / "bare.npz")
+        graph_io.save(graph, path)
+        # the default serving mix still works (attribute_range dropped)
+        rc = main([
+            "bench-queries", "--graph", path, "--num-queries", "40",
+            "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "attribute_range" not in payload["per_kind"]
+        # an attribute-only mix collapses to empty -> clean error
+        rc = main([
+            "bench-queries", "--graph", path,
+            "--mix", '{"attribute_range": 1.0}', "--json",
+        ])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "error"
+        assert "no attributes" in payload["error"]
+
+    def test_bench_queries_load_failure_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        """CI gates on bench-queries the same way it gates on compare."""
+        rc = main([
+            "bench-queries", "--graph", str(tmp_path / "nope.npz"), "--json",
+        ])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "error"
+        rc = main(["bench-queries", "--graph", str(tmp_path / "nope.npz")])
+        assert rc == 2
+        assert "nope.npz" in capsys.readouterr().err

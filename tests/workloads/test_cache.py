@@ -1,0 +1,187 @@
+"""SnapshotPlanCache: LRU semantics, budget sizing, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph.store import TemporalEdgeStore
+from repro.workloads import SnapshotPlanCache
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(0)
+    n, m, t_len = 30, 200, 6
+    return TemporalEdgeStore(
+        n, t_len,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.integers(0, t_len, size=m),
+        rng.normal(size=(t_len, n, 2)),
+    )
+
+
+def reference_csr(store, t):
+    src, dst = store.edges_at(t)
+    counts = np.bincount(src, minlength=store.num_nodes)
+    indptr = np.zeros(store.num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst
+
+
+class TestPlans:
+    def test_csr_matches_store(self, store):
+        cache = SnapshotPlanCache(store)
+        for t in range(store.num_timesteps):
+            indptr, indices = cache.csr(t)
+            ref_indptr, ref_indices = store.csr_at(t)
+            assert np.array_equal(indptr, ref_indptr)
+            assert np.array_equal(indices, ref_indices)
+
+    def test_csc_matches_store(self, store):
+        cache = SnapshotPlanCache(store)
+        for t in range(store.num_timesteps):
+            indptr, indices = cache.csc(t)
+            ref_indptr, ref_indices = store.csc_at(t)
+            assert np.array_equal(indptr, ref_indptr)
+            assert np.array_equal(indices, ref_indices)
+
+    def test_does_not_populate_store_caches(self, store):
+        cache = SnapshotPlanCache(store)
+        cache.csr(0)
+        cache.csc(0)
+        assert not store._csr_cache and not store._csc_cache
+
+    def test_temporal_keys_sorted_strictly_increasing(self, store):
+        keys = SnapshotPlanCache(store).temporal_keys()
+        assert np.array_equal(keys, store.temporal_edge_keys())
+        assert (np.diff(keys) > 0).all()
+
+    def test_pair_keys_sorted(self, store):
+        keys = SnapshotPlanCache(store).pair_keys()
+        assert keys.size == store.num_edges
+        assert (np.diff(keys) > 0).all()  # dedup makes them strict too
+
+    def test_attribute_order_sorts_values(self, store):
+        cache = SnapshotPlanCache(store)
+        order = cache.attribute_order(2, 1)
+        values = store.attributes[2, :, 1]
+        assert (np.diff(values[order]) >= 0).all()
+
+
+class TestLRU:
+    def test_hits_and_misses_counted(self, store):
+        cache = SnapshotPlanCache(store)
+        cache.csr(0)
+        cache.csr(0)
+        cache.csr(1)
+        stats = cache.stats()
+        assert stats.misses == 2
+        assert stats.hits == 1
+        assert stats.resident_plans == 2
+        assert 0 < stats.hit_rate < 1
+
+    def test_budget_evicts_lru_first(self, store):
+        # budget fits roughly one CSC plan; touching many evicts oldest
+        cache = SnapshotPlanCache(store, max_plans=2)
+        cache.csc(0)
+        cache.csc(1)
+        cache.csc(0)  # refresh 0 -> 1 is now LRU
+        cache.csc(2)  # evicts 1
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.resident_plans == 2
+        cache.csc(0)  # still resident
+        assert cache.stats().hits == 2
+
+    def test_memory_budget_bounds_resident_bytes(self, store):
+        budget = 1024
+        cache = SnapshotPlanCache(store, memory_budget_bytes=budget)
+        for t in range(store.num_timesteps):
+            cache.csc(t)
+        stats = cache.stats()
+        assert stats.evictions > 0
+        # the newest plan may alone exceed the budget; with several
+        # resident plans the total must respect it
+        if stats.resident_plans > 1:
+            assert stats.resident_bytes <= budget
+
+    def test_newest_plan_survives_tiny_budget(self, store):
+        cache = SnapshotPlanCache(store, memory_budget_bytes=1)
+        for t in range(store.num_timesteps):
+            indptr, indices = cache.csr(t)
+            ref_indptr, ref_indices = reference_csr(store, t)
+            assert np.array_equal(indptr, ref_indptr)
+            assert np.array_equal(indices, ref_indices)
+            assert cache.stats().resident_plans == 1
+
+    def test_eviction_never_changes_results(self, store):
+        bounded = SnapshotPlanCache(store, memory_budget_bytes=1)
+        unbounded = SnapshotPlanCache(store)
+        for t in list(range(store.num_timesteps)) * 2:
+            a, b = bounded.csc(t), unbounded.csc(t)
+            assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        assert bounded.stats().evictions > 0
+        assert unbounded.stats().evictions == 0
+
+    def test_zero_copy_views_are_free(self, store):
+        cache = SnapshotPlanCache(store)
+        cache.csr(0)
+        indptr, indices = cache.csr(0)
+        owned = cache.stats().resident_bytes
+        assert owned == indptr.nbytes  # indices is a store-column view
+        assert indices.base is not None
+
+    def test_clear_counts_evictions(self, store):
+        cache = SnapshotPlanCache(store)
+        cache.csr(0)
+        cache.csr(1)
+        cache.clear()
+        stats = cache.stats()
+        assert stats.resident_plans == 0
+        assert stats.resident_bytes == 0
+        assert stats.evictions == 2
+
+    def test_invalid_settings_rejected(self, store):
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            SnapshotPlanCache(store, memory_budget_bytes=0)
+        with pytest.raises(ValueError, match="max_plans"):
+            SnapshotPlanCache(store, max_plans=0)
+
+    def test_repr_shows_residency(self, store):
+        cache = SnapshotPlanCache(store, memory_budget_bytes=1 << 20)
+        cache.csr(0)
+        text = repr(cache)
+        assert "plans=1" in text and "budget=" in text
+
+
+class TestThreadSafety:
+    def test_concurrent_lookups_consistent(self, store):
+        cache = SnapshotPlanCache(store, memory_budget_bytes=4096)
+        expected = {
+            t: reference_csr(store, t) for t in range(store.num_timesteps)
+        }
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(200):
+                t = int(rng.integers(0, store.num_timesteps))
+                indptr, indices = cache.csr(t)
+                if not (
+                    np.array_equal(indptr, expected[t][0])
+                    and np.array_equal(indices, expected[t][1])
+                ):
+                    errors.append(t)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 800

@@ -136,3 +136,109 @@ class TestTemporal:
         assert engine.edge_persistence(0, 1) == 1.0
         assert engine.edge_persistence(3, 4) == 0.5
         assert engine.edge_persistence(5, 0) == 0.0
+
+    def test_edge_window_count(self, engine):
+        assert engine.edge_window_count(0, 1, 0, 1) == 2
+        assert engine.edge_window_count(3, 4, 0, 1) == 1
+        assert engine.edge_window_count(3, 4, 1, 1) == 0
+
+    def test_edge_window_count_rejects_empty_window(self, engine):
+        with pytest.raises(ValueError, match="window"):
+            engine.edge_window_count(0, 1, 1, 0)
+
+
+class TestEdgeCases:
+    """Empty stores, bad timesteps, duplicate batch entries, eviction."""
+
+    def make_empty_engine(self, **kwargs):
+        from repro.graph.store import TemporalEdgeStore
+
+        store = TemporalEdgeStore(5, 3, [], [], [])
+        return GraphQueryEngine(
+            DynamicAttributedGraph.from_store(store), **kwargs
+        )
+
+    def test_empty_store_scalar_queries(self):
+        engine = self.make_empty_engine()
+        assert engine.out_neighbors(0, 0) == []
+        assert engine.in_neighbors(4, 2) == []
+        assert not engine.has_edge(0, 1, 1)
+        assert engine.k_hop(0, 0, 3) == set()
+        assert engine.triangle_count(0) == 0
+        assert engine.edge_persistence(0, 1) == 0.0
+        assert not engine.temporal_reachable(0, 1, 0, 2)
+
+    def test_empty_store_batched_kernels(self):
+        import numpy as np
+
+        engine = self.make_empty_engine()
+        nodes = np.array([0, 1, 4, 1])
+        ts = np.array([0, 1, 2, 0])
+        assert np.array_equal(engine.batch_degrees(nodes, ts), [0, 0, 0, 0])
+        off, neigh = engine.batch_neighbors(nodes, ts)
+        assert np.array_equal(off, [0, 0, 0, 0, 0]) and neigh.size == 0
+        assert not engine.batch_has_edge(nodes, nodes[::-1], ts).any()
+        assert np.array_equal(
+            engine.batch_edge_window_counts(
+                nodes, nodes[::-1], np.zeros(4, int), np.full(4, 2)
+            ),
+            [0, 0, 0, 0],
+        )
+
+    def test_out_of_range_timestep_scalar_and_batched(self, engine):
+        with pytest.raises(IndexError, match="timestep"):
+            engine.edge_window_count(0, 1, 0, 9)
+        with pytest.raises(IndexError, match="timesteps out of range"):
+            engine.batch_degrees([0], [2])
+        with pytest.raises(IndexError, match="timesteps out of range"):
+            engine.batch_has_edge([0], [1], [-1])
+
+    def test_duplicate_node_ids_in_batch(self, engine):
+        import numpy as np
+
+        nodes = np.array([0, 0, 0, 3, 3])
+        ts = np.array([0, 1, 0, 0, 0])
+        assert np.array_equal(engine.batch_degrees(nodes, ts), [1, 1, 1, 1, 1])
+        off, neigh = engine.batch_neighbors(nodes, ts)
+        assert np.array_equal(np.diff(off), [1, 1, 1, 1, 1])
+        assert np.array_equal(neigh, [1, 1, 1, 4, 4])
+
+    def test_cache_eviction_correctness(self):
+        """A budget so small every query misses changes nothing."""
+        import numpy as np
+
+        graph = build_graph()
+        starved = GraphQueryEngine(graph, cache_memory_budget_bytes=1)
+        unbounded = GraphQueryEngine(graph)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            v, u = rng.integers(0, graph.num_nodes, size=2)
+            t = int(rng.integers(0, graph.num_timesteps))
+            assert starved.out_neighbors(v, t) == unbounded.out_neighbors(v, t)
+            assert starved.in_neighbors(v, t) == unbounded.in_neighbors(v, t)
+            assert starved.has_edge(u, v, t) == unbounded.has_edge(u, v, t)
+            assert starved.attribute_range(t, 0, -3.0, 3.0) == (
+                unbounded.attribute_range(t, 0, -3.0, 3.0)
+            )
+        stats = starved.plans.stats()
+        assert stats.evictions > 0
+        assert stats.resident_plans == 1  # only the newest plan survives
+
+    def test_mismatched_plan_cache_rejected(self, engine):
+        from repro.workloads import SnapshotPlanCache
+
+        other = build_graph()
+        foreign = SnapshotPlanCache(other.store)
+        with pytest.raises(ValueError, match="different store"):
+            GraphQueryEngine(build_graph(), plan_cache=foreign)
+
+    def test_shared_plan_cache_across_engines(self):
+        from repro.workloads import SnapshotPlanCache
+
+        graph = build_graph()
+        cache = SnapshotPlanCache(graph.store)
+        a = GraphQueryEngine(graph, plan_cache=cache)
+        b = GraphQueryEngine(graph, plan_cache=cache)
+        a.out_neighbors(0, 0)
+        b.out_neighbors(0, 0)
+        assert cache.stats().hits == 1  # b reused a's plan
