@@ -145,6 +145,7 @@ def bench_kernels(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     out.update(bench_ingest(quick, repeats))
     out.update(bench_api(quick, repeats))
     out.update(bench_workloads(quick, repeats))
+    out.update(bench_reliability(quick, repeats))
 
     for entry in out.values():
         entry["speedup"] = (
@@ -514,6 +515,75 @@ def bench_workloads(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
         "service": curve,
     }
     return out
+
+
+def bench_reliability(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Reliability tax: a fully-guarded ``QueryService`` vs a bare one.
+
+    ``reference_s`` serves a workload through a plain service,
+    ``vectorized_s`` through the same service wrapped in the whole
+    reliability stack — retry policy, per-request deadline, bounded
+    admission — with fault injection *disabled* (the deployment
+    default).  The guarantees must be free when nothing fails: the
+    run asserts the guarded wall-clock stays within 5% of the bare
+    one (plus a 20ms absolute allowance for scheduler jitter, as in
+    ``api.pipeline_overhead``).
+    """
+    from repro.graph.store import TemporalEdgeStore
+    from repro.reliability import RetryPolicy, fault_injector
+    from repro.workloads import (
+        QueryRequest,
+        QueryService,
+        WorkloadConfig,
+        WorkloadGenerator,
+        serving_mix,
+    )
+
+    n, m, t_len = (200, 2400, 8) if quick else (600, 7200, 10)
+    n_q = 500 if quick else 2000
+    rng = np.random.default_rng(19)
+    store = TemporalEdgeStore(
+        n, t_len,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.integers(0, t_len, size=m),
+        rng.normal(size=(t_len, n, 2)),
+    )
+    graph = DynamicAttributedGraph.from_store(store)
+    config = WorkloadConfig(num_queries=n_q, mix=serving_mix(), seed=5)
+    queries = WorkloadGenerator(graph, config).generate()
+    requests = [
+        QueryRequest(queries[i:i + 256]) for i in range(0, len(queries), 256)
+    ]
+    assert not fault_injector.enabled, "injector must be disarmed here"
+
+    guards = dict(
+        retry_policy=RetryPolicy(),
+        deadline_seconds=300.0,
+        max_pending=len(requests),
+    )
+    with QueryService(graph, executor="thread", max_workers=2) as bare, \
+            QueryService(graph, executor="thread", max_workers=2,
+                         **guards) as guarded:
+        for svc in (bare, guarded):  # warm pools and plan caches
+            assert all(r.ok for r in svc.run_batch(requests))
+        bare_s = _best_of(lambda: bare.run_batch(requests), repeats)
+        guarded_s = _best_of(lambda: guarded.run_batch(requests), repeats)
+    overhead = guarded_s / bare_s - 1.0
+    assert guarded_s <= bare_s * 1.05 + 0.02, (
+        f"reliability stack adds {overhead:.1%} wall-clock with faults "
+        "disabled (budget: 5%)"
+    )
+    return {
+        "reliability.overhead": {
+            "n": n,
+            "edges": m,
+            "num_queries": n_q,
+            "reference_s": bare_s,
+            "vectorized_s": guarded_s,
+            "overhead_fraction": overhead,
+        }
+    }
 
 
 def bench_experiments(quick: bool) -> Dict[str, object]:

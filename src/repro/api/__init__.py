@@ -22,6 +22,14 @@ Query serving rides the same surface: :class:`QueryService` /
 over a shared engine and bounded plan cache — see
 ``docs/workloads.md``.
 
+Both services speak the reliability vocabulary of
+:mod:`repro.reliability` (re-exported here): per-request failures are
+:class:`RequestFailure` values on results, overload raises
+:class:`ServiceOverloadedError`, deadlines surface as
+:class:`DeadlineExceededError`, and :class:`RetryPolicy` /
+:data:`fault_injector` configure retries and chaos testing — see
+``docs/reliability.md``.
+
 Quickstart::
 
     from repro import api
@@ -38,6 +46,7 @@ Quickstart::
 
 from repro.api.artifacts import (
     ARTIFACT_VERSION,
+    ArtifactError,
     ArtifactStateError,
     is_artifact,
     load_artifact,
@@ -58,6 +67,15 @@ from repro.api.service import (
     GenerationResult,
     GenerationService,
 )
+from repro.reliability import (
+    DeadlineExceededError,
+    FaultPlan,
+    InjectedFault,
+    RequestFailure,
+    RetryPolicy,
+    ServiceOverloadedError,
+    fault_injector,
+)
 from repro.workloads import (
     QueryRequest,
     QueryResult,
@@ -75,6 +93,7 @@ __all__ = [
     "smoke_config",
     # artifacts
     "ARTIFACT_VERSION",
+    "ArtifactError",
     "ArtifactStateError",
     "save_artifact",
     "load_artifact",
@@ -92,4 +111,12 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "QueryService",
+    # reliability (repro.reliability)
+    "DeadlineExceededError",
+    "FaultPlan",
+    "InjectedFault",
+    "RequestFailure",
+    "RetryPolicy",
+    "ServiceOverloadedError",
+    "fault_injector",
 ]

@@ -1,18 +1,23 @@
 """Versioned generator artifacts: one envelope for every generator.
 
 An *artifact* is a single compressed ``.npz`` that round-trips any
-registered generator — fitted or not — through four fields:
+registered generator — fitted or not — through five fields:
 
 =================  ========================================================
 ``__artifact__``   magic marker (``"repro-generator-artifact"``)
-``version``        envelope format version (currently 2; version 1 is the
-                   legacy VRDAG-only layout read by
+``version``        envelope format version (currently 3; version 2 lacked
+                   the checksum and is still read; version 1 is the legacy
+                   VRDAG-only layout read by
                    :func:`repro.core.persistence.load_model`)
 ``generator``      registry name (``repro.api.get_generator`` resolves it)
 ``config``         JSON of ``generator.to_config()`` — construction as data
 ``state``          JSON tree of ``generator.get_state()`` with every numpy
                    array swapped for a ``{"__ndarray__": i}`` reference to
                    the ``arr::<i>`` entry stored alongside
+``checksum``       SHA-256 over the logical payload (name, config bytes,
+                   state bytes, each array's dtype/shape/C-order bytes) —
+                   verified at load, so silent corruption surfaces as a
+                   typed :class:`ArtifactError` instead of a garbage model
 =================  ========================================================
 
 The state codec closes over: ``None``, ``bool``/``int``/``float``/
@@ -28,31 +33,57 @@ or exclude it via ``_STATE_EXCLUDE``.
 
 Loading never unpickles: ``np.load`` runs with ``allow_pickle=False``
 and the JSON fields decode to plain containers.
+
+**Crash safety** (``docs/reliability.md``): :func:`save_artifact`
+writes through a temp file and ``os.replace``, so a crash mid-save
+leaves either the old file or the new one — never a torn envelope.
+:func:`load_artifact` wraps every decode failure (bad zip, truncated
+member, missing entry, invalid JSON, checksum mismatch) in
+:class:`ArtifactError` naming the path and the failure mode;
+``FileNotFoundError`` still passes through untouched.  The
+``artifact.load`` / ``artifact.state`` injection points let the chaos
+suite provoke both.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Any, Dict, List, Union
+import zipfile
+from typing import Any, Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.baselines.base import GraphGenerator
+from repro.reliability import fault_injector
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "ArtifactError",
     "ArtifactStateError",
     "is_artifact",
     "load_artifact",
     "save_artifact",
 ]
 
-ARTIFACT_VERSION = 2
+ARTIFACT_VERSION = 3
+_MIN_READ_VERSION = 2
 _MAGIC = "repro-generator-artifact"
 _ARRAY_PREFIX = "arr::"
 
 PathLike = Union[str, os.PathLike]
+
+
+class ArtifactError(ValueError):
+    """An artifact file cannot be read: corrupt, truncated, or foreign.
+
+    Subclasses ``ValueError`` so callers written against the pre-v3
+    ``load_artifact`` contract (which raised bare ``ValueError``) keep
+    working; the message always names the offending path and the
+    failure mode.  ``FileNotFoundError`` is *not* converted — a
+    missing file is an addressing error, not a corrupt artifact.
+    """
 
 
 class ArtifactStateError(TypeError):
@@ -114,6 +145,30 @@ def _json_bytes(payload: Any) -> np.ndarray:
     return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
 
 
+def _payload_digest(
+    name: str,
+    config_bytes: bytes,
+    state_bytes: bytes,
+    arrays: Sequence[np.ndarray],
+) -> str:
+    """SHA-256 over the *logical* payload, not the file bytes.
+
+    Hashing dtype + shape + C-order bytes per array makes the digest
+    stable across save/load round trips (compression, Fortran layouts
+    and views all normalize away) — the digest answers "is this the
+    state I wrote", not "are these the bytes zlib produced".
+    """
+    h = hashlib.sha256()
+    for part in (name.encode(), config_bytes, state_bytes):
+        h.update(len(part).to_bytes(8, "little"))
+        h.update(part)
+    for a in arrays:
+        h.update(a.dtype.str.encode())
+        h.update(str(a.shape).encode())
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # envelope I/O
 # ---------------------------------------------------------------------------
@@ -123,6 +178,11 @@ def save_artifact(generator: GraphGenerator, path: PathLike) -> None:
     A bare :class:`~repro.core.model.VRDAG` is accepted too — it is
     wrapped in the ``"VRDAG"`` registry adapter first, so the file is
     indistinguishable from a trained-through-the-registry artifact.
+
+    The write is atomic: the envelope is assembled in a sibling temp
+    file and moved into place with ``os.replace``, so readers (and
+    crash recovery) only ever see a complete artifact.  Like
+    ``np.savez``, a path without a ``.npz`` suffix gets one appended.
     """
     from repro.api.registry import generator_name_of
     from repro.core.model import VRDAG
@@ -134,48 +194,110 @@ def save_artifact(generator: GraphGenerator, path: PathLike) -> None:
     name = generator_name_of(generator)
     arrays: List[np.ndarray] = []
     state_tree = _encode(generator.get_state(), arrays, name)
-    np.savez_compressed(
-        path,
-        __artifact__=np.array(_MAGIC),
-        version=np.array(ARTIFACT_VERSION),
-        generator=np.array(name),
-        config=_json_bytes(generator.to_config()),
-        state=_json_bytes(state_tree),
-        **{f"{_ARRAY_PREFIX}{i}": a for i, a in enumerate(arrays)},
+    config_arr = _json_bytes(generator.to_config())
+    state_arr = _json_bytes(state_tree)
+    checksum = _payload_digest(
+        name, config_arr.tobytes(), state_arr.tobytes(), arrays
     )
+    final = os.fspath(path)
+    if not final.endswith(".npz"):
+        final += ".npz"
+    tmp = final + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                __artifact__=np.array(_MAGIC),
+                version=np.array(ARTIFACT_VERSION),
+                generator=np.array(name),
+                config=config_arr,
+                state=state_arr,
+                checksum=np.array(checksum),
+                **{f"{_ARRAY_PREFIX}{i}": a for i, a in enumerate(arrays)},
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
 
 
 def load_artifact(path: PathLike) -> GraphGenerator:
     """Reconstruct the generator saved by :func:`save_artifact`.
 
-    Raises ``ValueError`` for unknown versions or unregistered
-    generator names, ``FileNotFoundError`` if ``path`` is missing.
+    Raises :class:`ArtifactError` (a ``ValueError``) for anything
+    unreadable — foreign files, unsupported versions, truncated or
+    corrupt envelopes (bad zip members, invalid JSON, checksum
+    mismatch), missing entries — always naming ``path`` and the
+    failure mode.  ``FileNotFoundError`` passes through untouched,
+    and unregistered generator names surface from the registry as
+    usual.  Reads versions ``2..3`` (v2 files simply lack the
+    checksum, so they skip verification).
     """
     from repro.api.registry import generator_entry
 
-    with np.load(path, allow_pickle=False) as data:
-        if "__artifact__" not in data.files or (
-            str(data["__artifact__"][()]) != _MAGIC
-        ):
-            raise ValueError(
-                f"{path} is not a generator artifact (no envelope marker); "
-                "legacy VRDAG model files are read by "
-                "repro.core.persistence.load_model"
-            )
-        version = int(data["version"])
-        if version > ARTIFACT_VERSION or version < 2:
-            raise ValueError(
-                f"unsupported artifact version {version} "
-                f"(this build reads version 2..{ARTIFACT_VERSION})"
-            )
-        name = str(data["generator"][()])
-        config = json.loads(bytes(data["config"]).decode())
-        state_tree = json.loads(bytes(data["state"]).decode())
-        arrays = {
-            int(key[len(_ARRAY_PREFIX):]): data[key]
-            for key in data.files
-            if key.startswith(_ARRAY_PREFIX)
-        }
+    # keyless: the arrival counter varies the decision per load even
+    # when every request reads the same artifact path
+    fault_injector.fire("artifact.load")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "__artifact__" not in data.files or (
+                str(data["__artifact__"][()]) != _MAGIC
+            ):
+                raise ArtifactError(
+                    f"{path} is not a generator artifact (no envelope "
+                    "marker); legacy VRDAG model files are read by "
+                    "repro.core.persistence.load_model"
+                )
+            version = int(data["version"])
+            if version > ARTIFACT_VERSION or version < _MIN_READ_VERSION:
+                raise ArtifactError(
+                    f"{path}: unsupported artifact version {version} (this "
+                    f"build reads version "
+                    f"{_MIN_READ_VERSION}..{ARTIFACT_VERSION})"
+                )
+            name = str(data["generator"][()])
+            config_bytes = bytes(data["config"])
+            state_bytes = bytes(data["state"])
+            arrays = {
+                int(key[len(_ARRAY_PREFIX):]): data[key]
+                for key in data.files
+                if key.startswith(_ARRAY_PREFIX)
+            }
+            if version >= 3:
+                if "checksum" not in data.files:
+                    raise ArtifactError(
+                        f"{path}: version {version} artifact is missing its "
+                        "checksum entry (truncated write?)"
+                    )
+                stored = str(data["checksum"][()])
+                state_bytes = fault_injector.corrupt_bytes(
+                    "artifact.state", state_bytes, key=os.fspath(path)
+                )
+                actual = _payload_digest(
+                    name,
+                    config_bytes,
+                    state_bytes,
+                    [arrays[i] for i in sorted(arrays)],
+                )
+                if actual != stored:
+                    raise ArtifactError(
+                        f"{path}: checksum mismatch (stored {stored[:12]}…, "
+                        f"computed {actual[:12]}…) — the artifact is corrupt"
+                    )
+        config = json.loads(config_bytes.decode())
+        state_tree = json.loads(state_bytes.decode())
+    except FileNotFoundError:
+        raise
+    except ArtifactError:
+        raise
+    except (zipfile.BadZipFile, KeyError, json.JSONDecodeError,
+            ValueError, OSError) as exc:
+        raise ArtifactError(
+            f"{path}: corrupt or truncated artifact "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
     entry = generator_entry(name)
     generator = entry.cls.from_config(**config)
     generator.set_state(_decode(state_tree, arrays))

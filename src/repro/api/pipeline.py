@@ -36,6 +36,7 @@ from repro.metrics import (
     structure_metric_table,
 )
 from repro.profiling import profiler
+from repro.reliability import InjectedFault, fault_injector
 
 __all__ = [
     "METRIC_SUITES",
@@ -101,14 +102,32 @@ def generate_with_decode(
     generators route through :func:`repro.generation.generate_sharded`
     (bit-identical for every ``shards``/``executor``); everything else
     requires the serial defaults and raises ``ValueError`` otherwise.
+
+    This is also a degradation point (``docs/reliability.md``): the
+    sharded decode is bit-identical to the serial decode, so a fault in
+    the sharded path (provoked via the ``pipeline.sharded_decode``
+    injection point) falls back to ``shards=1 / executor='serial'``
+    with identical output — degraded throughput, not a failed request.
     """
     model = _vrdag_model(generator)
     if model is not None:
         from repro.generation import generate_sharded
 
+        if shards != 1 or executor != "serial":
+            try:
+                fault_injector.fire(
+                    "pipeline.sharded_decode", key=(shards, executor)
+                )
+                return generate_sharded(
+                    model, num_timesteps, seed=seed,
+                    n_shards=shards, executor=executor,
+                )
+            except InjectedFault:
+                # sharded decode faulted: the serial decode is its
+                # bit-identical reference twin, so degrade to it
+                pass
         return generate_sharded(
-            model, num_timesteps, seed=seed,
-            n_shards=shards, executor=executor,
+            model, num_timesteps, seed=seed, n_shards=1, executor="serial",
         )
     if shards != 1 or executor != "serial":
         raise ValueError(

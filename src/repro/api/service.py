@@ -20,6 +20,19 @@ For the ``process`` executor the workers ship back the generated
 graph's columnar form (``src``/``dst``/``t`` + attribute block) rather
 than pickled graph objects — the store columns are plain arrays, and
 the parent rebuilds the store zero-copy.
+
+**Fault tolerance** (contract in ``docs/reliability.md``): a failing
+request comes back as a structured
+:class:`~repro.reliability.errors.RequestFailure` on its own result —
+``run_batch`` never raises for one bad request and sibling requests
+are unaffected.  Optional knobs add per-request deadlines
+(``deadline_seconds``), seeded-backoff retries (``retry_policy``) and
+bounded admission (``max_pending`` — overflow is shed with a
+structured :class:`~repro.reliability.errors.ServiceOverloadedError`,
+never queued unboundedly).  The ``generation.request`` injection
+point lets the chaos suite provoke worker crashes and slow workers
+deterministically; a request that completes under injected faults is
+bit-identical to the fault-free run.
 """
 
 from __future__ import annotations
@@ -35,6 +48,14 @@ from repro.generation.runner import EXECUTORS
 from repro.graph import DynamicAttributedGraph
 from repro.graph.store import TemporalEdgeStore
 from repro.profiling import profiler
+from repro.reliability import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceededError,
+    RequestFailure,
+    RetryPolicy,
+    fault_injector,
+)
 
 __all__ = ["GenerationRequest", "GenerationResult", "GenerationService"]
 
@@ -61,11 +82,24 @@ class GenerationRequest:
 
 @dataclass
 class GenerationResult:
-    """A request together with its generated graph and wall-clock."""
+    """A request together with its generated graph and wall-clock.
+
+    ``graph`` is ``None`` exactly when ``error`` is set: the request
+    failed (after ``attempts`` executions) and the failure is carried
+    here as data instead of poisoning the sibling requests of the
+    same batch.
+    """
 
     request: GenerationRequest
-    graph: DynamicAttributedGraph
+    graph: Optional[DynamicAttributedGraph]
     seconds: float
+    attempts: int = 1
+    error: Optional[RequestFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the request produced a graph."""
+        return self.error is None
 
 
 _Columns = Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
@@ -104,6 +138,38 @@ def _rebuild(columns: _Columns) -> DynamicAttributedGraph:
     )
 
 
+def _execute_request_tagged(payload):
+    """Worker-safe wrapper for the ``process`` executor.
+
+    Returns a picklable tagged tuple — ``("ok", columns, seconds,
+    attempts)`` or ``("error", type_name, message, attempts)`` — so a
+    crashing request surfaces as data instead of tearing down the
+    whole ``Pool.map``.  The deadline is cooperative in workers
+    (checked at request start and between retries).
+    """
+    request, deadline_seconds, policy = payload
+    deadline = Deadline.after(deadline_seconds)
+
+    def attempt():
+        if deadline is not None:
+            deadline.check()
+        return _execute_request(request)
+
+    try:
+        if policy is not None:
+            (columns, seconds), attempts = policy.run(
+                attempt, key=(request.artifact, request.seed),
+                deadline=deadline,
+            )
+        else:
+            columns, seconds = attempt()
+            attempts = 1
+        return ("ok", columns, seconds, attempts)
+    except Exception as exc:
+        attempts = getattr(exc, "_retry_attempts", 1)
+        return ("error", type(exc).__name__, str(exc), attempts)
+
+
 class GenerationService:
     """Concurrent executor of generation-request batches.
 
@@ -118,20 +184,51 @@ class GenerationService:
         Pool width; defaults to ``cpu_count`` (the pool is created
         once and reused across batches, so it is sized for the
         machine, not for whichever batch arrives first).
+    retry_policy:
+        Optional :class:`~repro.reliability.RetryPolicy`: transient
+        per-request failures (injected faults, I/O flakes) are
+        retried with deterministic seeded backoff before the request
+        is reported failed.
+    deadline_seconds:
+        Optional per-request budget.  ``serial`` checks it at request
+        start and between retries (cooperative); ``thread``
+        additionally bounds the wait on each worker future, so a
+        stuck request surfaces as a structured
+        ``DeadlineExceededError`` result instead of a hang;
+        ``process`` workers check it cooperatively.
+    max_pending:
+        Bound on requests admitted but not yet finished, across all
+        concurrent ``run_batch`` callers.  A submission that would
+        exceed it raises
+        :class:`~repro.reliability.ServiceOverloadedError`
+        immediately (structured load shedding — the queue is never
+        unbounded).  ``None`` (default) disables the bound.
 
     Pools are created lazily on the first batch and reused; use the
     service as a context manager (or call :meth:`close`) to release
     them.
     """
 
-    def __init__(self, executor: str = "thread",
-                 max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        max_pending: Optional[int] = None,
+    ):
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
         self.executor = executor
         self.max_workers = max_workers
+        self.retry_policy = retry_policy
+        self.deadline_seconds = deadline_seconds
+        self._admission = AdmissionController(max_pending)
         self._pool = None
 
     # ------------------------------------------------------------------
@@ -140,10 +237,83 @@ class GenerationService:
             return max(int(self.max_workers), 1)
         return max(os.cpu_count() or 1, 1)
 
-    def _map(self, requests: Sequence[GenerationRequest]):
+    def _guarded(
+        self,
+        request: GenerationRequest,
+        index: int,
+        deadline: Optional[Deadline],
+    ) -> GenerationResult:
+        """Execute one request; failures become result values."""
+        t0 = perf_counter()
+        attempt_counter = 0
+
+        def attempt():
+            nonlocal attempt_counter
+            attempt_counter += 1
+            if deadline is not None:
+                deadline.check()
+            fault_injector.fire(
+                "generation.request", key=(index, attempt_counter)
+            )
+            return _execute_request(request)
+
+        try:
+            if self.retry_policy is not None:
+                (columns, seconds), attempts = self.retry_policy.run(
+                    attempt, key=index, deadline=deadline
+                )
+            else:
+                columns, seconds = attempt()
+                attempts = 1
+            return GenerationResult(
+                request=request,
+                graph=_rebuild(columns),
+                seconds=seconds,
+                attempts=attempts,
+            )
+        except Exception as exc:
+            attempts = getattr(exc, "_retry_attempts", None) or max(
+                attempt_counter, 1
+            )
+            return GenerationResult(
+                request=request,
+                graph=None,
+                seconds=perf_counter() - t0,
+                attempts=attempts,
+                error=RequestFailure.from_exception(exc, attempts),
+            )
+
+    def _deadline_result(
+        self, request: GenerationRequest, deadline: Deadline
+    ) -> GenerationResult:
+        failure = RequestFailure.from_exception(
+            DeadlineExceededError(
+                deadline.budget_seconds, deadline.elapsed()
+            )
+        )
+        return GenerationResult(
+            request=request,
+            graph=None,
+            seconds=deadline.elapsed(),
+            error=failure,
+        )
+
+    def _map(
+        self, requests: Sequence[GenerationRequest]
+    ) -> List[GenerationResult]:
+        deadlines = [
+            Deadline.after(self.deadline_seconds) for _ in requests
+        ]
         if self.executor == "serial":
-            return [_execute_request(r) for r in requests]
+            return [
+                self._guarded(request, i, deadline)
+                for i, (request, deadline) in enumerate(
+                    zip(requests, deadlines)
+                )
+            ]
         if self.executor == "thread":
+            from concurrent.futures import TimeoutError as FuturesTimeout
+
             if self._pool is None:
                 from concurrent.futures import ThreadPoolExecutor
 
@@ -151,7 +321,31 @@ class GenerationService:
                     max_workers=self._workers(),
                     thread_name_prefix="generation-service",
                 )
-            return list(self._pool.map(_execute_request, requests))
+            futures = [
+                self._pool.submit(self._guarded, request, i, deadline)
+                for i, (request, deadline) in enumerate(
+                    zip(requests, deadlines)
+                )
+            ]
+            results: List[GenerationResult] = []
+            for request, deadline, future in zip(
+                requests, deadlines, futures
+            ):
+                try:
+                    timeout = (
+                        None
+                        if deadline is None
+                        else max(deadline.remaining(), 0.0)
+                    )
+                    results.append(future.result(timeout=timeout))
+                except FuturesTimeout:
+                    # the worker keeps running but the request is
+                    # answered now, with a structured expiry — the
+                    # caller never hangs on a slow worker
+                    future.cancel()
+                    results.append(self._deadline_result(request, deadline))
+            return results
+        # process executor
         if self._pool is None:
             import multiprocessing as mp
 
@@ -159,24 +353,67 @@ class GenerationService:
             self._pool = mp.get_context(method).Pool(
                 processes=self._workers()
             )
-        return self._pool.map(_execute_request, requests)
+        payloads = [
+            (request, self.deadline_seconds, self.retry_policy)
+            for request in requests
+        ]
+        outcomes = self._pool.map(_execute_request_tagged, payloads)
+        results = []
+        for request, outcome in zip(requests, outcomes):
+            if outcome[0] == "ok":
+                _, columns, seconds, attempts = outcome
+                results.append(
+                    GenerationResult(
+                        request=request,
+                        graph=_rebuild(columns),
+                        seconds=seconds,
+                        attempts=attempts,
+                    )
+                )
+            else:
+                _, error_type, message, attempts = outcome
+                results.append(
+                    GenerationResult(
+                        request=request,
+                        graph=None,
+                        seconds=0.0,
+                        attempts=attempts,
+                        error=RequestFailure(error_type, message, attempts),
+                    )
+                )
+        return results
 
     # ------------------------------------------------------------------
     def run_batch(
         self, requests: Sequence[GenerationRequest]
     ) -> List[GenerationResult]:
-        """Execute every request; results are in request order."""
+        """Execute every request; results are in request order.
+
+        Per-request failures are returned as
+        :class:`~repro.reliability.RequestFailure` values on the
+        affected results (check ``result.ok``); the only exception
+        this method raises itself is
+        :class:`~repro.reliability.ServiceOverloadedError` when the
+        batch would exceed ``max_pending``.
+        """
         requests = list(requests)
         if not requests:
             return []
-        with profiler.timer("api.service.run_batch"):
-            outcomes = self._map(requests)
-        return [
-            GenerationResult(request=req, graph=_rebuild(cols), seconds=s)
-            for req, (cols, s) in zip(requests, outcomes)
-        ]
+        self._admission.try_acquire(len(requests))
+        t0 = perf_counter()
+        try:
+            with profiler.timer("api.service.run_batch"):
+                return self._map(requests)
+        finally:
+            self._admission.release(
+                len(requests), seconds=perf_counter() - t0
+            )
 
     # ------------------------------------------------------------------
+    def admission_stats(self):
+        """Pending/admitted/shed counters of the bounded queue."""
+        return self._admission.stats()
+
     def close(self) -> None:
         """Shut down the worker pool (no-op for ``serial``)."""
         pool, self._pool = self._pool, None

@@ -135,6 +135,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--memory-budget-mb", type=float, default=None,
         help="bound on the transient canonicalization working set",
     )
+    ingest.add_argument(
+        "--checkpoint", default=None,
+        help="crash-safe resumable ingestion: persist builder state "
+        "here and resume from it if the file exists "
+        "(see docs/reliability.md)",
+    )
+    ingest.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="events between checkpoints (default: one chunk)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("--name", required=True, choices=sorted(_EXPERIMENTS))
@@ -165,6 +175,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mix", default=None,
         help="JSON object of query-kind weights (default: the "
         "point-lookup-heavy serving mix)",
+    )
+    bq.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline; expired requests come back as "
+        "structured failures (see docs/reliability.md)",
+    )
+    bq.add_argument(
+        "--max-pending", type=int, default=None,
+        help="bound on requests in flight; overflow is shed with a "
+        "structured overload error instead of queueing",
     )
     bq.add_argument(
         "--compare-per-query", action="store_true",
@@ -311,6 +331,12 @@ def _cmd_bench_queries(args) -> int:
             executor=args.executor,
             max_workers=args.workers,
             cache_memory_budget_bytes=budget,
+            deadline_seconds=(
+                args.deadline_ms / 1000.0
+                if args.deadline_ms is not None
+                else None
+            ),
+            max_pending=args.max_pending,
         )
     except ValueError as exc:
         return fail(str(exc))
@@ -346,6 +372,7 @@ def _cmd_bench_queries(args) -> int:
                 "evictions": stats.evictions,
                 "resident_bytes": stats.resident_bytes,
             },
+            "failed_requests": sum(1 for r in results if not r.ok),
         }
         if args.compare_per_query:
             # the replayed sequence is already in the results —
@@ -424,7 +451,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.memory_budget_mb is not None
             else None
         )
-        graph = graph_io.load(args.events, memory_budget_bytes=budget)
+        graph = graph_io.load(
+            args.events,
+            memory_budget_bytes=budget,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_events=args.checkpoint_every,
+        )
         graph_io.save(graph, args.out)
         print(f"ingested {graph} -> {args.out}")
         return 0

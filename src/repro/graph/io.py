@@ -87,6 +87,8 @@ def load(
     path: Union[str, os.PathLike],
     *,
     memory_budget_bytes: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every_events: Optional[int] = None,
 ) -> DynamicAttributedGraph:
     """Read a graph archive (v1 dense, v2 columnar) or an event log.
 
@@ -94,8 +96,11 @@ def load(
     canonical store with
     :func:`repro.graph.streams.ingest_stream`; ``memory_budget_bytes``
     bounds the transient canonicalization working set (default: one
-    64k-event chunk).  For graph archives the parameter is ignored —
-    the columns are already canonical.
+    64k-event chunk), and ``checkpoint_path`` /
+    ``checkpoint_every_events`` enable the crash-safe resumable
+    ingestion described in ``docs/reliability.md``.  For graph
+    archives these parameters are ignored — the columns are already
+    canonical.
     """
     with np.load(path, allow_pickle=False) as data:
         if "kind" in data and str(data["kind"]) == "events":
@@ -114,6 +119,8 @@ def load(
                 attributes=(
                     data["attributes"] if "attributes" in data else None
                 ),
+                checkpoint_path=checkpoint_path,
+                checkpoint_every_events=checkpoint_every_events,
             )
             return DynamicAttributedGraph.from_store(store)
         version = int(data["version"])

@@ -39,6 +39,8 @@ transient working set is one chunk, never the whole stream.
 from __future__ import annotations
 
 import bisect
+import hashlib
+import os
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -52,6 +54,7 @@ from repro.graph.store import (
     merge_canonical_runs,
 )
 from repro.graph.temporal import TemporalEdgeList
+from repro.reliability import CheckpointError, fault_injector
 
 #: One timestamped directed interaction: (src, dst, time).
 Event = Tuple[int, int, float]
@@ -410,6 +413,29 @@ _BYTES_PER_EVENT = 64
 #: call overhead dominates and the merge tier count explodes.
 _MIN_CHUNK_EVENTS = 256
 
+_CHECKPOINT_MAGIC = "repro-ingest-checkpoint"
+_CHECKPOINT_VERSION = 1
+
+
+def _checkpoint_digest(
+    num_nodes: int,
+    num_timesteps: int,
+    chunk_events: int,
+    events_ingested: int,
+    runs: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> str:
+    """SHA-256 over a checkpoint's logical payload (meta + run columns)."""
+    h = hashlib.sha256()
+    h.update(
+        f"{num_nodes},{num_timesteps},{chunk_events},"
+        f"{events_ingested},{len(runs)}".encode()
+    )
+    for src, dst, t in runs:
+        for col in (src, dst, t):
+            h.update(str(col.size).encode())
+            h.update(np.ascontiguousarray(col).tobytes())
+    return h.hexdigest()
+
 
 class StreamingStoreBuilder:
     """Fold an unbounded ``(src, dst, t)`` event stream into a store.
@@ -549,6 +575,7 @@ class StreamingStoreBuilder:
         """Canonicalize the buffered chunk and fold it into the tiers."""
         if not self._buf:
             return
+        fault_injector.fire("ingest.seal", key=self.events_ingested)
         src = np.concatenate([b[0] for b in self._buf])
         dst = np.concatenate([b[1] for b in self._buf])
         t = np.concatenate([b[2] for b in self._buf])
@@ -598,6 +625,127 @@ class StreamingStoreBuilder:
             canonical=True,
         )
 
+    # ------------------------------------------------------------------
+    # crash safety: checkpoint / resume (docs/reliability.md)
+    # ------------------------------------------------------------------
+    def checkpoint(self, path) -> None:
+        """Atomically persist the builder's state to ``path``.
+
+        The buffered chunk is sealed first (canonicalize + merge are
+        deterministic and partition-invariant, so sealing early never
+        changes the final store), then the sorted runs, the universe
+        and the ``events_ingested`` counter are written to a single
+        ``.npz`` through a temp file + ``os.replace`` — a crash during
+        ``checkpoint`` leaves the previous checkpoint intact.  A
+        SHA-256 over the payload is stored alongside and verified by
+        :meth:`from_checkpoint`.
+
+        ``events_ingested`` is the resume cursor: a restarted ingestion
+        replays the same event stream and skips that many events, so
+        checkpointing only helps producers that can replay
+        deterministically from an offset (logs, files, generators
+        re-run with the same seed).
+        """
+        self._flush_scalars()
+        self._seal_chunk()
+        payload = {
+            "__checkpoint__": np.array(_CHECKPOINT_MAGIC),
+            "version": np.array(_CHECKPOINT_VERSION),
+            "num_nodes": np.array(self.num_nodes),
+            "num_timesteps": np.array(self.num_timesteps),
+            "chunk_events": np.array(self.chunk_events),
+            "events_ingested": np.array(self.events_ingested),
+            "num_runs": np.array(len(self._runs)),
+            "checksum": np.array(
+                _checkpoint_digest(
+                    self.num_nodes,
+                    self.num_timesteps,
+                    self.chunk_events,
+                    self.events_ingested,
+                    self._runs,
+                )
+            ),
+        }
+        for i, (src, dst, t) in enumerate(self._runs):
+            payload[f"run{i}_src"] = src
+            payload[f"run{i}_dst"] = dst
+            payload[f"run{i}_t"] = t
+        final = os.fspath(path)
+        tmp = final + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+
+    @classmethod
+    def from_checkpoint(cls, path) -> "StreamingStoreBuilder":
+        """Rebuild a builder from a :meth:`checkpoint` file.
+
+        Raises :class:`~repro.reliability.CheckpointError` for
+        anything unreadable — foreign files, unsupported versions,
+        truncated archives, checksum mismatches — naming ``path`` and
+        the failure mode.  ``FileNotFoundError`` passes through.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if "__checkpoint__" not in data.files or (
+                    str(data["__checkpoint__"][()]) != _CHECKPOINT_MAGIC
+                ):
+                    raise CheckpointError(
+                        f"{path} is not an ingestion checkpoint "
+                        "(no checkpoint marker)"
+                    )
+                version = int(data["version"])
+                if version != _CHECKPOINT_VERSION:
+                    raise CheckpointError(
+                        f"{path}: unsupported checkpoint version {version} "
+                        f"(this build reads version {_CHECKPOINT_VERSION})"
+                    )
+                builder = cls(
+                    int(data["num_nodes"]),
+                    int(data["num_timesteps"]),
+                    chunk_events=int(data["chunk_events"]),
+                )
+                runs = [
+                    (
+                        data[f"run{i}_src"],
+                        data[f"run{i}_dst"],
+                        data[f"run{i}_t"],
+                    )
+                    for i in range(int(data["num_runs"]))
+                ]
+                stored = str(data["checksum"][()])
+                events_ingested = int(data["events_ingested"])
+        except FileNotFoundError:
+            raise
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"{path}: corrupt or truncated checkpoint "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+        builder.events_ingested = events_ingested
+        actual = _checkpoint_digest(
+            builder.num_nodes,
+            builder.num_timesteps,
+            builder.chunk_events,
+            builder.events_ingested,
+            runs,
+        )
+        if actual != stored:
+            raise CheckpointError(
+                f"{path}: checksum mismatch (stored {stored[:12]}…, "
+                f"computed {actual[:12]}…) — the checkpoint is corrupt"
+            )
+        builder._runs = runs
+        return builder
+
 
 def ingest_stream(
     events,
@@ -607,6 +755,8 @@ def ingest_stream(
     chunk_events: int = 65536,
     memory_budget_bytes: Optional[int] = None,
     attributes: Optional[np.ndarray] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every_events: Optional[int] = None,
 ) -> TemporalEdgeStore:
     """Fold an integer-timestep event stream into a canonical store.
 
@@ -622,19 +772,90 @@ def ingest_stream(
     Peak transient memory is one chunk (sized directly or via
     ``memory_budget_bytes``) plus the growing canonical runs — the
     unsorted stream is never resident at once.
+
+    **Checkpoint/resume** (``docs/reliability.md``): with
+    ``checkpoint_path`` set, the builder's state is persisted
+    atomically every ``checkpoint_every_events`` ingested events
+    (default: every ``chunk_events``).  If the process dies mid-stream,
+    re-running the *same call over the same replayed stream* resumes
+    from the checkpoint — the first ``events_ingested`` events are
+    skipped and the final store is identical to the uninterrupted
+    build (canonicalization is partition-invariant).  The checkpoint
+    file is deleted once ``build`` succeeds.  The resume contract
+    requires a deterministic, replayable producer; mismatched
+    ``num_nodes``/``num_timesteps`` raise
+    :class:`~repro.reliability.CheckpointError`.
     """
-    builder = StreamingStoreBuilder(
-        num_nodes,
-        num_timesteps,
-        chunk_events=chunk_events,
-        memory_budget_bytes=memory_budget_bytes,
+    skip = 0
+    builder = None
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        builder = StreamingStoreBuilder.from_checkpoint(checkpoint_path)
+        if (
+            builder.num_nodes != num_nodes
+            or builder.num_timesteps != num_timesteps
+        ):
+            raise CheckpointError(
+                f"{checkpoint_path}: checkpoint universe "
+                f"(N={builder.num_nodes}, T={builder.num_timesteps}) does "
+                f"not match the requested ingestion "
+                f"(N={num_nodes}, T={num_timesteps})"
+            )
+        skip = builder.events_ingested
+    if builder is None:
+        builder = StreamingStoreBuilder(
+            num_nodes,
+            num_timesteps,
+            chunk_events=chunk_events,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    every = (
+        int(checkpoint_every_events)
+        if checkpoint_every_events is not None
+        else builder.chunk_events
     )
+    if every < 1:
+        raise ValueError("checkpoint_every_events must be >= 1")
+    last_checkpoint = builder.events_ingested
+
+    def maybe_checkpoint() -> None:
+        nonlocal last_checkpoint
+        if (
+            checkpoint_path is not None
+            and builder.events_ingested - last_checkpoint >= every
+        ):
+            builder.checkpoint(checkpoint_path)
+            last_checkpoint = builder.events_ingested
+
+    def absorb_batch(src, dst, t) -> None:
+        """Feed one array batch, honoring the resume skip cursor."""
+        nonlocal skip
+        src = np.asarray(src, dtype=np.int64).reshape(-1)
+        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        t = np.asarray(t, dtype=np.int64).reshape(-1)
+        if skip >= src.size:
+            skip -= src.size
+            return
+        if skip:
+            src, dst, t = src[skip:], dst[skip:], t[skip:]
+            skip = 0
+        builder.extend(src, dst, t)
+        maybe_checkpoint()
+
     if (
         isinstance(events, (tuple, list))
         and len(events) == 3
         and np.ndim(events[0]) >= 1
     ):
-        builder.extend(*events)
+        # slice the triple so the checkpoint cadence holds inside it
+        src = np.asarray(events[0]).reshape(-1)
+        dst = np.asarray(events[1]).reshape(-1)
+        t = np.asarray(events[2]).reshape(-1)
+        for pos in range(0, max(src.size, 1), every):
+            absorb_batch(
+                src[pos:pos + every],
+                dst[pos:pos + every],
+                t[pos:pos + every],
+            )
     else:
         for item in events:
             if len(item) != 3:
@@ -642,10 +863,17 @@ def ingest_stream(
                     "events must be (src, dst, t) triples or batches"
                 )
             if np.ndim(item[0]) == 0:
+                if skip:
+                    skip -= 1
+                    continue
                 builder.add(int(item[0]), int(item[1]), int(item[2]))
+                maybe_checkpoint()
             else:
-                builder.extend(*item)
-    return builder.build(attributes)
+                absorb_batch(*item)
+    store = builder.build(attributes)
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        os.remove(checkpoint_path)
+    return store
 
 
 def snapshot_density_profile(graph: DynamicAttributedGraph) -> np.ndarray:

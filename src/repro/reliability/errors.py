@@ -1,0 +1,132 @@
+"""Typed failure vocabulary of the reliability layer.
+
+Every fault the serving stack can surface is one of a small set of
+exception classes, so callers (and the chaos suite) can branch on
+*what went wrong* instead of parsing messages:
+
+* :class:`ReliabilityError` — common base.
+* :class:`InjectedFault` — a deterministic fault provoked by the
+  process-global :data:`~repro.reliability.fault_injector`; never
+  raised in production (the injector is disabled by default).
+* :class:`DeadlineExceededError` — a per-request deadline expired
+  before (or while) the request ran.
+* :class:`ServiceOverloadedError` — structured load shedding: the
+  bounded request queue is full; ``retry_after_seconds`` tells the
+  client when capacity is expected back.  Raised *instead of*
+  queueing unboundedly or hanging.
+* :class:`CheckpointError` — a streaming-ingestion checkpoint file is
+  corrupted, truncated, or inconsistent with the resuming builder.
+
+Per-request failures inside a service batch are not raised at all —
+they come back as :class:`RequestFailure` values on the affected
+result, so one bad request can never poison its siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CheckpointError",
+    "DeadlineExceededError",
+    "InjectedFault",
+    "ReliabilityError",
+    "RequestFailure",
+    "ServiceOverloadedError",
+]
+
+
+class ReliabilityError(RuntimeError):
+    """Base class of every reliability-layer failure."""
+
+
+class InjectedFault(ReliabilityError):
+    """A deterministic fault raised by the :class:`FaultInjector`.
+
+    Carries the injection ``point`` so tests can assert *where* the
+    fault fired.  Production code never sees this class unless the
+    injector has been armed explicitly.
+    """
+
+    def __init__(self, point: str, trigger: int):
+        self.point = point
+        self.trigger = trigger
+        super().__init__(
+            f"injected fault at {point!r} (trigger #{trigger})"
+        )
+
+
+class DeadlineExceededError(ReliabilityError):
+    """A request's deadline expired before it completed.
+
+    ``deadline_seconds`` is the budget the request was given;
+    ``elapsed_seconds`` how long it had been running (or waiting) when
+    the expiry was observed.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: float,
+        elapsed_seconds: float,
+        where: str = "request",
+    ):
+        self.deadline_seconds = float(deadline_seconds)
+        self.elapsed_seconds = float(elapsed_seconds)
+        super().__init__(
+            f"{where} exceeded its {deadline_seconds:.3f}s deadline "
+            f"(elapsed {elapsed_seconds:.3f}s)"
+        )
+
+
+class ServiceOverloadedError(ReliabilityError):
+    """Structured backpressure: the bounded request queue is full.
+
+    The service sheds the submission instead of queueing it; the
+    client should retry after ``retry_after_seconds`` (an estimate
+    from the service's recent drain rate, never ``None``).
+    """
+
+    def __init__(
+        self, pending: int, capacity: int, retry_after_seconds: float
+    ):
+        self.pending = int(pending)
+        self.capacity = int(capacity)
+        self.retry_after_seconds = float(retry_after_seconds)
+        super().__init__(
+            f"service overloaded: {pending} requests pending against a "
+            f"capacity of {capacity}; retry after "
+            f"{retry_after_seconds:.3f}s"
+        )
+
+
+class CheckpointError(ReliabilityError):
+    """A streaming-ingestion checkpoint cannot be trusted or applied."""
+
+
+@dataclass(frozen=True)
+class RequestFailure:
+    """Structured per-request error carried on a service result.
+
+    ``error_type`` is the exception class name (``"InjectedFault"``,
+    ``"DeadlineExceededError"``, ``"ValueError"``, ...), ``message``
+    its text, and ``attempts`` how many execution attempts the retry
+    policy spent before giving up.
+    """
+
+    error_type: str
+    message: str
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, attempts: int = 1
+    ) -> "RequestFailure":
+        """Capture ``exc`` as a structured failure value."""
+        return cls(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=int(attempts),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.error_type}: {self.message}"

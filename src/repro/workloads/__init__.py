@@ -31,6 +31,7 @@ from repro.workloads.batch import (
     BATCHED_KINDS,
     execute_workload_batched,
     run_queries_batched,
+    run_queries_resilient,
 )
 from repro.workloads.cache import PlanCacheStats, SnapshotPlanCache
 from repro.workloads.engine import GraphQueryEngine
@@ -67,5 +68,6 @@ __all__ = [
     "execute_workload",
     "execute_workload_batched",
     "run_queries_batched",
+    "run_queries_resilient",
     "serving_mix",
 ]

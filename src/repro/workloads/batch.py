@@ -15,15 +15,25 @@ order — only the dispatch cost changes.
 This is the execution core of
 :class:`~repro.workloads.service.QueryService`; it is also usable
 directly for single-threaded bulk replay.
+
+**Graceful degradation** (``docs/reliability.md``): the batched
+kernels are an optimization, and the per-query dispatch is their
+pinned reference twin — so a kernel failure is recoverable, not
+fatal.  :func:`run_queries_resilient` catches a faulting batched
+kernel (the ``query.batch_kernel`` injection point provokes this in
+chaos tests) and answers that query class through the per-query loop
+instead: identical results, degraded throughput, and the degradation
+is reported so operators can see it happening.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.reliability import fault_injector
 from repro.workloads.engine import GraphQueryEngine
 from repro.workloads.generator import (
     Query,
@@ -32,7 +42,12 @@ from repro.workloads.generator import (
     _run_query,
 )
 
-__all__ = ["BATCHED_KINDS", "run_queries_batched", "execute_workload_batched"]
+__all__ = [
+    "BATCHED_KINDS",
+    "run_queries_batched",
+    "run_queries_resilient",
+    "execute_workload_batched",
+]
 
 #: Query classes answered by a vectorized kernel; the rest take the
 #: per-query fallback inside :func:`run_queries_batched`.
@@ -51,6 +66,7 @@ def _dispatch_kind(
     engine: GraphQueryEngine, kind: QueryKind, group: List[Query]
 ) -> np.ndarray:
     """Cardinalities of one query-class group, via its batched kernel."""
+    fault_injector.fire("query.batch_kernel", key=kind.value)
     if kind in (QueryKind.OUT_NEIGHBORS, QueryKind.IN_NEIGHBORS):
         nodes = np.fromiter((q.args[0] for q in group), np.int64, len(group))
         ts = np.fromiter((q.t for q in group), np.int64, len(group))
@@ -76,6 +92,42 @@ def _dispatch_kind(
     raise AssertionError(kind)  # pragma: no cover - guarded by caller
 
 
+def _run_grouped(
+    engine: GraphQueryEngine,
+    queries: Sequence[Query],
+    degrade: bool,
+) -> Tuple[np.ndarray, Dict[str, float], FrozenSet[str]]:
+    """Grouped execution core shared by the strict and resilient paths."""
+    cardinalities = np.zeros(len(queries), dtype=np.int64)
+    seconds: Dict[str, float] = {}
+    degraded: List[str] = []
+    groups: Dict[QueryKind, List[int]] = {}
+    for i, q in enumerate(queries):
+        groups.setdefault(q.kind, []).append(i)
+    for kind, indices in groups.items():
+        start = perf_counter()
+        if kind in BATCHED_KINDS:
+            group = [queries[i] for i in indices]
+            try:
+                cardinalities[indices] = _dispatch_kind(engine, kind, group)
+            except Exception:
+                if not degrade:
+                    raise
+                # batched kernel faulted: fall back to its pinned
+                # per-query reference twin — identical results,
+                # degraded throughput
+                degraded.append(kind.value)
+                for i in indices:
+                    cardinalities[i] = _run_query(engine, queries[i])
+        else:
+            for i in indices:
+                cardinalities[i] = _run_query(engine, queries[i])
+        seconds[kind.value] = seconds.get(kind.value, 0.0) + (
+            perf_counter() - start
+        )
+    return cardinalities, seconds, frozenset(degraded)
+
+
 def run_queries_batched(
     engine: GraphQueryEngine, queries: Sequence[Query]
 ) -> Tuple[np.ndarray, Dict[str, float]]:
@@ -86,25 +138,25 @@ def run_queries_batched(
     ``execute_workload``'s per-query dispatch — pinned by
     ``tests/workloads/test_batch.py``) and the wall-clock each query
     class consumed (batched classes are timed per kernel call, the
-    fallback classes per query).
+    fallback classes per query).  A batched-kernel failure propagates;
+    use :func:`run_queries_resilient` for the degrade-don't-die form.
     """
-    cardinalities = np.zeros(len(queries), dtype=np.int64)
-    seconds: Dict[str, float] = {}
-    groups: Dict[QueryKind, List[int]] = {}
-    for i, q in enumerate(queries):
-        groups.setdefault(q.kind, []).append(i)
-    for kind, indices in groups.items():
-        start = perf_counter()
-        if kind in BATCHED_KINDS:
-            group = [queries[i] for i in indices]
-            cardinalities[indices] = _dispatch_kind(engine, kind, group)
-        else:
-            for i in indices:
-                cardinalities[i] = _run_query(engine, queries[i])
-        seconds[kind.value] = seconds.get(kind.value, 0.0) + (
-            perf_counter() - start
-        )
+    cardinalities, seconds, _ = _run_grouped(engine, queries, degrade=False)
     return cardinalities, seconds
+
+
+def run_queries_resilient(
+    engine: GraphQueryEngine, queries: Sequence[Query]
+) -> Tuple[np.ndarray, Dict[str, float], FrozenSet[str]]:
+    """Degrading twin of :func:`run_queries_batched`.
+
+    Identical cardinalities, but a query class whose batched kernel
+    raises is re-answered through the per-query reference dispatch
+    instead of failing the request.  Returns ``(cardinalities,
+    seconds_by_kind, degraded_kinds)`` where ``degraded_kinds`` names
+    the classes that fell back (empty in the fault-free case).
+    """
+    return _run_grouped(engine, queries, degrade=True)
 
 
 def execute_workload_batched(

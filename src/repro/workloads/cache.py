@@ -21,6 +21,14 @@ from the store columns — so the budget is purely a residency knob.
 The cache is thread-safe (one lock around the LRU bookkeeping; plan
 construction runs outside it) so a single instance can back every
 request of a concurrent :class:`~repro.workloads.service.QueryService`.
+
+The cache is also a *degradation* point (``docs/reliability.md``): a
+fault in the cache path — provoked deterministically through the
+``cache.plan`` injection point — bypasses the cache for that lookup
+and builds the plan directly from the store columns.  Results are
+unchanged (eviction never changes results, and neither does never
+inserting); only residency suffers.  Bypasses are counted in
+:class:`PlanCacheStats`.
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.reliability import InjectedFault, fault_injector
+
 __all__ = ["PlanCacheStats", "SnapshotPlanCache"]
 
 
@@ -42,7 +52,9 @@ class PlanCacheStats:
     ``hits`` / ``misses`` count plan lookups (a miss includes the
     build); ``evictions`` counts plans dropped to stay under budget;
     ``resident_plans`` / ``resident_bytes`` describe what is cached
-    *now* (owned bytes only — zero-copy column views are free).
+    *now* (owned bytes only — zero-copy column views are free);
+    ``bypasses`` counts lookups that degraded around a cache fault
+    (plan built directly, never inserted — results unchanged).
     """
 
     hits: int
@@ -50,6 +62,7 @@ class PlanCacheStats:
     evictions: int
     resident_plans: int
     resident_bytes: int
+    bypasses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -103,6 +116,7 @@ class SnapshotPlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._bypasses = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -116,7 +130,17 @@ class SnapshotPlanCache:
         the lock: plans are deterministic, so a racing double-build
         wastes work but can never corrupt the cache — the second
         writer finds the key present and discards its copy.
+
+        A fault injected at the ``cache.plan`` point degrades to a
+        cache *bypass*: the plan is built directly and not inserted,
+        so the lookup still answers correctly.
         """
+        try:
+            fault_injector.fire("cache.plan", key=key)
+        except InjectedFault:
+            with self._lock:
+                self._bypasses += 1
+            return build()[0]
         with self._lock:
             entry = self._plans.get(key)
             if entry is not None:
@@ -237,6 +261,7 @@ class SnapshotPlanCache:
                 evictions=self._evictions,
                 resident_plans=len(self._plans),
                 resident_bytes=self._bytes,
+                bypasses=self._bypasses,
             )
 
     def clear(self) -> None:

@@ -25,19 +25,44 @@ deployment is "run one service per process behind a router", not a
 pool mode.  The kernels the requests spend their time in
 (``searchsorted``, fancy gathers) release the GIL, so threads overlap
 on multi-core hosts.
+
+**Fault tolerance** (contract in ``docs/reliability.md``): a failing
+request yields a structured
+:class:`~repro.reliability.errors.RequestFailure` on its own result
+instead of poisoning siblings; per-request ``deadline_seconds`` bounds
+the wait on each worker future (a slow worker surfaces as a typed
+expiry, never a hang); ``retry_policy`` retries transient faults with
+deterministic backoff; ``max_pending`` sheds overflow with a
+structured :class:`~repro.reliability.errors.ServiceOverloadedError`.
+Degradation is built in: a faulting batched kernel falls back to its
+pinned per-query reference twin
+(:func:`~repro.workloads.batch.run_queries_resilient`) and a faulting
+plan-cache lookup is bypassed — in both cases completed results stay
+bit-identical to the fault-free run (asserted by the chaos suite).
+The injection points are ``query.request`` (here),
+``query.batch_kernel`` (batch dispatch) and ``cache.plan`` (plan
+cache).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.profiling import profiler
-from repro.workloads.batch import run_queries_batched
+from repro.reliability import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceededError,
+    RequestFailure,
+    RetryPolicy,
+    fault_injector,
+)
+from repro.workloads.batch import run_queries_resilient
 from repro.workloads.engine import GraphQueryEngine
 from repro.workloads.generator import (
     Query,
@@ -82,12 +107,25 @@ class QueryResult:
     ``request.queries[i]`` — bit-identical to per-query dispatch.
     ``seconds_by_kind`` attributes the request's execution time to
     query classes (kernel-call granularity for batched classes).
+
+    ``cardinalities`` is ``None`` exactly when ``error`` is set (the
+    request failed after ``attempts`` executions); ``degraded_kinds``
+    names query classes whose batched kernel faulted and fell back to
+    the per-query reference twin (identical results).
     """
 
     request: QueryRequest
-    cardinalities: np.ndarray
+    cardinalities: Optional[np.ndarray]
     seconds: float
     seconds_by_kind: Dict[str, float]
+    attempts: int = 1
+    degraded_kinds: FrozenSet[str] = field(default_factory=frozenset)
+    error: Optional[RequestFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the request produced cardinalities."""
+        return self.error is None
 
 
 class QueryService:
@@ -114,6 +152,18 @@ class QueryService:
         ``False`` forces per-query dispatch inside every request —
         the comparison baseline the throughput benches use; results
         are identical either way.
+    retry_policy:
+        Optional :class:`~repro.reliability.RetryPolicy` retrying
+        transient per-request faults with deterministic backoff.
+    deadline_seconds:
+        Optional per-request budget; ``serial`` checks it
+        cooperatively, ``thread`` also bounds the wait on the worker
+        future so a stuck request answers with a structured expiry.
+    max_pending:
+        Bound on requests in flight across all concurrent callers;
+        overflow raises
+        :class:`~repro.reliability.ServiceOverloadedError` with a
+        retry-after estimate instead of queueing unboundedly.
     """
 
     def __init__(
@@ -124,6 +174,9 @@ class QueryService:
         max_workers: Optional[int] = None,
         cache_memory_budget_bytes: Optional[int] = None,
         batched: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        max_pending: Optional[int] = None,
     ):
         if executor not in SERVICE_EXECUTORS:
             raise ValueError(
@@ -132,6 +185,8 @@ class QueryService:
                 "store, so process pools are a deployment topology, not a "
                 "pool mode)"
             )
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
         if isinstance(graph, GraphQueryEngine):
             self.engine = graph
         else:
@@ -139,9 +194,15 @@ class QueryService:
                 graph,
                 cache_memory_budget_bytes=cache_memory_budget_bytes,
             )
+        # force the lazy plan cache now: an invalid budget must fail
+        # service construction, not degrade the first request
+        self.engine.plans
         self.executor = executor
         self.max_workers = max_workers
         self.batched = batched
+        self.retry_policy = retry_policy
+        self.deadline_seconds = deadline_seconds
+        self._admission = AdmissionController(max_pending)
         self._pool = None
         self._pool_init = threading.Lock()
 
@@ -153,31 +214,97 @@ class QueryService:
             return max(int(self.max_workers), 1)
         return max(os.cpu_count() or 1, 1)
 
-    def _execute_request(self, request: QueryRequest) -> QueryResult:
-        start = perf_counter()
+    def _run_once(
+        self, request: QueryRequest
+    ) -> Tuple[np.ndarray, Dict[str, float], FrozenSet[str]]:
         if self.batched:
-            cards, by_kind = run_queries_batched(
-                self.engine, request.queries
+            return run_queries_resilient(self.engine, request.queries)
+        cards = np.zeros(len(request.queries), dtype=np.int64)
+        by_kind: Dict[str, float] = {}
+        for i, q in enumerate(request.queries):
+            q0 = perf_counter()
+            cards[i] = _run_query(self.engine, q)
+            by_kind[q.kind.value] = by_kind.get(q.kind.value, 0.0) + (
+                perf_counter() - q0
             )
-        else:
-            cards = np.zeros(len(request.queries), dtype=np.int64)
-            by_kind = {}
-            for i, q in enumerate(request.queries):
-                q0 = perf_counter()
-                cards[i] = _run_query(self.engine, q)
-                by_kind[q.kind.value] = by_kind.get(q.kind.value, 0.0) + (
-                    perf_counter() - q0
+        return cards, by_kind, frozenset()
+
+    def _execute_request(
+        self,
+        request: QueryRequest,
+        index: int = 0,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryResult:
+        """Execute one request; failures become result values."""
+        start = perf_counter()
+        attempt_counter = 0
+
+        def attempt():
+            nonlocal attempt_counter
+            attempt_counter += 1
+            if deadline is not None:
+                deadline.check()
+            fault_injector.fire(
+                "query.request", key=(index, attempt_counter)
+            )
+            return self._run_once(request)
+
+        try:
+            if self.retry_policy is not None:
+                (cards, by_kind, degraded), attempts = self.retry_policy.run(
+                    attempt, key=index, deadline=deadline
                 )
+            else:
+                cards, by_kind, degraded = attempt()
+                attempts = 1
+            return QueryResult(
+                request=request,
+                cardinalities=cards,
+                seconds=perf_counter() - start,
+                seconds_by_kind=by_kind,
+                attempts=attempts,
+                degraded_kinds=degraded,
+            )
+        except Exception as exc:
+            attempts = getattr(exc, "_retry_attempts", None) or max(
+                attempt_counter, 1
+            )
+            return QueryResult(
+                request=request,
+                cardinalities=None,
+                seconds=perf_counter() - start,
+                seconds_by_kind={},
+                attempts=attempts,
+                error=RequestFailure.from_exception(exc, attempts),
+            )
+
+    def _deadline_result(
+        self, request: QueryRequest, deadline: Deadline
+    ) -> QueryResult:
+        failure = RequestFailure.from_exception(
+            DeadlineExceededError(
+                deadline.budget_seconds, deadline.elapsed()
+            )
+        )
         return QueryResult(
             request=request,
-            cardinalities=cards,
-            seconds=perf_counter() - start,
-            seconds_by_kind=by_kind,
+            cardinalities=None,
+            seconds=deadline.elapsed(),
+            seconds_by_kind={},
+            error=failure,
         )
 
     def _map(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
+        deadlines = [
+            Deadline.after(self.deadline_seconds) for _ in requests
+        ]
         if self.executor == "serial":
-            return [self._execute_request(r) for r in requests]
+            return [
+                self._execute_request(request, i, deadline)
+                for i, (request, deadline) in enumerate(
+                    zip(requests, deadlines)
+                )
+            ]
         if self._pool is None:
             # locked: concurrent first batches must agree on one pool,
             # or the loser's pool would leak past close()
@@ -189,18 +316,53 @@ class QueryService:
                         max_workers=self._workers(),
                         thread_name_prefix="query-service",
                     )
-        return list(self._pool.map(self._execute_request, requests))
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        futures = [
+            self._pool.submit(self._execute_request, request, i, deadline)
+            for i, (request, deadline) in enumerate(zip(requests, deadlines))
+        ]
+        results: List[QueryResult] = []
+        for request, deadline, future in zip(requests, deadlines, futures):
+            try:
+                timeout = (
+                    None
+                    if deadline is None
+                    else max(deadline.remaining(), 0.0)
+                )
+                results.append(future.result(timeout=timeout))
+            except FuturesTimeout:
+                # the worker thread keeps running, but the caller gets
+                # a structured expiry now instead of hanging on it
+                future.cancel()
+                results.append(self._deadline_result(request, deadline))
+        return results
 
     # ------------------------------------------------------------------
     def run_batch(
         self, requests: Sequence[QueryRequest]
     ) -> List[QueryResult]:
-        """Execute every request; results are in request order."""
+        """Execute every request; results are in request order.
+
+        Per-request failures come back as structured
+        :class:`~repro.reliability.RequestFailure` values on the
+        affected results (check ``result.ok``); the only exception
+        raised here is
+        :class:`~repro.reliability.ServiceOverloadedError` when the
+        batch would exceed ``max_pending``.
+        """
         requests = list(requests)
         if not requests:
             return []
-        with profiler.timer("workloads.service.run_batch"):
-            return self._map(requests)
+        self._admission.try_acquire(len(requests))
+        t0 = perf_counter()
+        try:
+            with profiler.timer("workloads.service.run_batch"):
+                return self._map(requests)
+        finally:
+            self._admission.release(
+                len(requests), seconds=perf_counter() - t0
+            )
 
     def run_workload(
         self,
@@ -217,6 +379,13 @@ class QueryService:
         aggregate :class:`WorkloadReport` (``total_seconds`` is the
         concurrent wall-clock, so ``throughput()`` reflects the pool)
         together with the per-request results.
+
+        The report aggregates *completed* requests only; failed
+        requests (possible when a deadline or armed fault injector is
+        in play) stay visible on the returned results.  With
+        ``max_pending`` set, size it for ``num_queries / batch_size``
+        requests — the replay submits the whole workload in one
+        ``run_batch`` call.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -233,7 +402,11 @@ class QueryService:
         latency: Dict[str, float] = {}
         counts: Dict[str, int] = {}
         sizes: Dict[str, float] = {}
+        completed_queries = 0
         for result in results:
+            if not result.ok:
+                continue
+            completed_queries += len(result.request)
             for key, s in result.seconds_by_kind.items():
                 latency[key] = latency.get(key, 0.0) + s
             for q, card in zip(
@@ -243,7 +416,7 @@ class QueryService:
                 counts[key] = counts.get(key, 0) + 1
                 sizes[key] = sizes.get(key, 0.0) + card
         report = WorkloadReport(
-            total_queries=len(queries),
+            total_queries=completed_queries,
             total_seconds=total,
             latency_by_kind={k: latency[k] / counts[k] for k in counts},
             count_by_kind=counts,
@@ -253,8 +426,12 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def plan_cache_stats(self):
-        """Hit/miss/eviction counters of the shared plan cache."""
+        """Hit/miss/eviction/bypass counters of the shared plan cache."""
         return self.engine.plans.stats()
+
+    def admission_stats(self):
+        """Pending/admitted/shed counters of the bounded queue."""
+        return self._admission.stats()
 
     def close(self) -> None:
         """Shut down the thread pool (no-op for ``serial``)."""

@@ -1,0 +1,131 @@
+"""Artifact crash safety: checksums, typed errors, atomic writes."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api.artifacts import ARTIFACT_VERSION, ArtifactError
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from repro.datasets import load_dataset
+
+    generator = api.get_generator(
+        "ErdosRenyi", seed=0, **api.smoke_config("ErdosRenyi")
+    )
+    generator.fit(load_dataset("email", scale=0.012, seed=0))
+    path = str(tmp_path_factory.mktemp("integrity") / "gen.npz")
+    api.save_artifact(generator, path)
+    return path
+
+
+@pytest.fixture()
+def copy_of(artifact, tmp_path):
+    """A scratch copy of the pristine artifact, safe to mutilate."""
+    path = str(tmp_path / "victim.npz")
+    with open(artifact, "rb") as src, open(path, "wb") as dst:
+        dst.write(src.read())
+    return path
+
+
+def _rewrite_npz(path, *, drop=(), **overrides):
+    with np.load(path, allow_pickle=False) as data:
+        payload = {k: data[k] for k in data.files if k not in drop}
+    payload.update(overrides)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+
+
+class TestTypedErrors:
+    def test_artifact_error_is_a_value_error(self):
+        assert issubclass(ArtifactError, ValueError)
+
+    def test_missing_file_passes_through(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            api.load_artifact(tmp_path / "missing.npz")
+
+    def test_garbage_file_named_in_error(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00not a zip archive\x00")
+        with pytest.raises(ArtifactError, match="corrupt or truncated") as e:
+            api.load_artifact(path)
+        assert path in str(e.value)
+
+    def test_truncated_file_rejected(self, copy_of):
+        size = os.path.getsize(copy_of)
+        with open(copy_of, "rb+") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(ArtifactError):
+            api.load_artifact(copy_of)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, weights=np.zeros(3))
+        with pytest.raises(ArtifactError, match="not a generator artifact"):
+            api.load_artifact(path)
+
+    def test_unsupported_version_rejected(self, copy_of):
+        _rewrite_npz(copy_of, version=np.array(ARTIFACT_VERSION + 1))
+        with pytest.raises(ArtifactError, match="unsupported artifact"):
+            api.load_artifact(copy_of)
+
+    def test_invalid_state_json_rejected(self, copy_of):
+        _rewrite_npz(
+            copy_of, state=np.frombuffer(b"{not json", dtype=np.uint8)
+        )
+        with pytest.raises(ArtifactError):
+            api.load_artifact(copy_of)
+
+
+class TestChecksums:
+    def test_tampered_state_fails_checksum(self, copy_of):
+        with np.load(copy_of, allow_pickle=False) as data:
+            state = data["state"].copy()
+        state[0] ^= 0xFF  # one flipped byte, stale stored checksum
+        _rewrite_npz(copy_of, state=state)
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            api.load_artifact(copy_of)
+
+    def test_tampered_config_fails_checksum(self, copy_of):
+        with np.load(copy_of, allow_pickle=False) as data:
+            config = data["config"].copy()
+        config[-2] ^= 0x01  # inside the JSON body, before the closing brace
+        _rewrite_npz(copy_of, config=config)
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            api.load_artifact(copy_of)
+
+    def test_v3_without_checksum_rejected(self, copy_of):
+        _rewrite_npz(copy_of, drop=("checksum",))
+        with pytest.raises(ArtifactError, match="missing its checksum"):
+            api.load_artifact(copy_of)
+
+    def test_v2_envelope_still_reads(self, copy_of, artifact):
+        """Version-2 files (no checksum) predate integrity checking and
+        must keep loading bit-compatibly."""
+        _rewrite_npz(copy_of, drop=("checksum",), version=np.array(2))
+        v2 = api.load_artifact(copy_of)
+        v3 = api.load_artifact(artifact)
+        assert v2.generate(num_timesteps=3) == v3.generate(num_timesteps=3)
+
+
+class TestAtomicSave:
+    def test_suffix_appended_and_no_temp_left(self, artifact, tmp_path):
+        generator = api.load_artifact(artifact)
+        api.save_artifact(generator, tmp_path / "model")
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+
+    def test_overwrite_leaves_single_readable_file(self, artifact,
+                                                   tmp_path):
+        generator = api.load_artifact(artifact)
+        path = str(tmp_path / "model.npz")
+        api.save_artifact(generator, path)
+        api.save_artifact(generator, path)
+        assert os.listdir(tmp_path) == ["model.npz"]
+        reloaded = api.load_artifact(path)
+        assert reloaded.generate(num_timesteps=3) == generator.generate(
+            num_timesteps=3
+        )

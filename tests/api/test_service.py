@@ -88,11 +88,21 @@ class TestGenerationService:
             api.GenerationService(executor="gpu")
 
     def test_shards_on_non_vrdag_rejected(self, artifacts):
+        """A bad request fails structurally without poisoning siblings."""
         bad = api.GenerationRequest(
             artifacts["ErdosRenyi"], num_timesteps=2, shards=2
         )
-        with pytest.raises(ValueError, match="shards=1"):
-            api.GenerationService(executor="serial").run_batch([bad])
+        good = api.GenerationRequest(
+            artifacts["ErdosRenyi"], num_timesteps=2, seed=0
+        )
+        results = api.GenerationService(executor="serial").run_batch(
+            [good, bad, good]
+        )
+        assert results[0].ok and results[2].ok
+        assert results[0].graph == results[2].graph
+        assert not results[1].ok and results[1].graph is None
+        assert results[1].error.error_type == "ValueError"
+        assert "shards=1" in results[1].error.message
 
     def test_request_validation(self):
         with pytest.raises(ValueError, match="num_timesteps"):

@@ -1,0 +1,174 @@
+"""Checkpoint/resume for streaming ingestion (crash safety)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.streams import StreamingStoreBuilder, ingest_stream
+from repro.reliability import CheckpointError
+
+N, T, M = 30, 5, 3000
+
+
+@pytest.fixture()
+def events():
+    rng = np.random.default_rng(9)
+    return (
+        rng.integers(0, N, size=M),
+        rng.integers(0, N, size=M),
+        rng.integers(0, T, size=M),
+    )
+
+
+@pytest.fixture()
+def reference(events):
+    return ingest_stream(events, N, T, chunk_events=256)
+
+
+def _rewrite_npz(path, **overrides):
+    """Rewrite a checkpoint npz with some entries replaced."""
+    with np.load(path, allow_pickle=False) as data:
+        payload = {key: data[key] for key in data.files}
+    payload.update(overrides)
+    with open(path, "wb") as fh:
+        np.savez(fh, **payload)
+
+
+class TestRoundTrip:
+    def test_checkpoint_restores_builder_state(self, events, reference,
+                                               tmp_path):
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+        builder = StreamingStoreBuilder(N, T, chunk_events=256)
+        builder.extend(*events)
+        builder.checkpoint(ckpt)
+
+        restored = StreamingStoreBuilder.from_checkpoint(ckpt)
+        assert restored.num_nodes == N
+        assert restored.num_timesteps == T
+        assert restored.chunk_events == 256
+        assert restored.events_ingested == M
+        assert restored.build() == reference
+
+    def test_partial_checkpoint_resumes_to_identical_store(
+        self, events, reference, tmp_path
+    ):
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+        partial = StreamingStoreBuilder(N, T, chunk_events=256)
+        partial.extend(events[0][:1000], events[1][:1000], events[2][:1000])
+        partial.checkpoint(ckpt)
+        del partial
+
+        resumed = ingest_stream(
+            events, N, T, chunk_events=256, checkpoint_path=ckpt
+        )
+        assert resumed == reference
+
+    def test_checkpoint_deleted_after_successful_build(self, events,
+                                                       tmp_path):
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+        ingest_stream(events, N, T, chunk_events=256, checkpoint_path=ckpt)
+        assert not os.path.exists(ckpt)
+
+    def test_checkpoint_overwrite_is_atomic(self, events, tmp_path):
+        """Re-checkpointing the same path leaves no temp litter."""
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+        builder = StreamingStoreBuilder(N, T, chunk_events=256)
+        builder.extend(events[0][:500], events[1][:500], events[2][:500])
+        builder.checkpoint(ckpt)
+        builder.extend(events[0][500:], events[1][500:], events[2][500:])
+        builder.checkpoint(ckpt)
+        assert os.listdir(tmp_path) == ["ingest.ckpt.npz"]
+        restored = StreamingStoreBuilder.from_checkpoint(ckpt)
+        assert restored.events_ingested == M
+
+
+class TestCadence:
+    def test_checkpoint_written_mid_stream(self, events, reference,
+                                           tmp_path):
+        """A producer that dies mid-stream leaves a usable checkpoint at
+        the configured cadence; the rerun resumes and converges."""
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+
+        def dying_producer():
+            for pos in range(0, M, 100):
+                if pos == 700:
+                    raise RuntimeError("producer died")
+                yield (
+                    events[0][pos:pos + 100],
+                    events[1][pos:pos + 100],
+                    events[2][pos:pos + 100],
+                )
+
+        with pytest.raises(RuntimeError, match="producer died"):
+            ingest_stream(
+                dying_producer(), N, T,
+                chunk_events=256,
+                checkpoint_path=ckpt,
+                checkpoint_every_events=200,
+            )
+        assert os.path.exists(ckpt)
+        survivor = StreamingStoreBuilder.from_checkpoint(ckpt)
+        assert 0 < survivor.events_ingested <= 700
+        assert survivor.events_ingested % 100 == 0  # batch-aligned
+
+        resumed = ingest_stream(
+            events, N, T, chunk_events=256, checkpoint_path=ckpt
+        )
+        assert resumed == reference
+
+    def test_checkpoint_every_must_be_positive(self, events, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every_events"):
+            ingest_stream(
+                events, N, T,
+                checkpoint_path=str(tmp_path / "c.npz"),
+                checkpoint_every_events=0,
+            )
+
+
+class TestRejection:
+    def test_missing_file_passes_through(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            StreamingStoreBuilder.from_checkpoint(tmp_path / "nope.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, data=np.arange(4))
+        with pytest.raises(CheckpointError, match="not an ingestion"):
+            StreamingStoreBuilder.from_checkpoint(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            StreamingStoreBuilder.from_checkpoint(path)
+
+    def test_unsupported_version_rejected(self, events, tmp_path):
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+        builder = StreamingStoreBuilder(N, T)
+        builder.extend(*events)
+        builder.checkpoint(ckpt)
+        _rewrite_npz(ckpt, version=np.array(99))
+        with pytest.raises(CheckpointError, match="version 99"):
+            StreamingStoreBuilder.from_checkpoint(ckpt)
+
+    def test_tampered_runs_fail_checksum(self, events, tmp_path):
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+        builder = StreamingStoreBuilder(N, T)
+        builder.extend(*events)
+        builder.checkpoint(ckpt)
+        with np.load(ckpt, allow_pickle=False) as data:
+            src = data["run0_src"].copy()
+        src[0] = (src[0] + 1) % N  # flip one edge endpoint, keep checksum
+        _rewrite_npz(ckpt, run0_src=src)
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            StreamingStoreBuilder.from_checkpoint(ckpt)
+
+    def test_mismatched_universe_rejected_on_resume(self, events, tmp_path):
+        ckpt = str(tmp_path / "ingest.ckpt.npz")
+        builder = StreamingStoreBuilder(N, T)
+        builder.extend(*events)
+        builder.checkpoint(ckpt)
+        with pytest.raises(CheckpointError, match="does not match"):
+            ingest_stream(events, N + 1, T, checkpoint_path=ckpt)

@@ -1,0 +1,12 @@
+"""Reliability-suite fixtures: the injector never leaks across tests."""
+
+import pytest
+
+from repro.reliability import fault_injector
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    fault_injector.reset()
+    yield
+    fault_injector.reset()

@@ -1,0 +1,83 @@
+"""AdmissionController: bounded in-flight requests, structured shedding."""
+
+import pytest
+
+from repro.reliability import AdmissionController, ServiceOverloadedError
+
+
+class TestValidation:
+    def test_max_pending_bounds(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionController(0)
+
+    def test_hint_positive(self):
+        with pytest.raises(ValueError, match="retry_after_hint"):
+            AdmissionController(1, retry_after_hint_seconds=0.0)
+
+    def test_acquire_at_least_one(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AdmissionController().try_acquire(0)
+
+
+class TestAdmission:
+    def test_unbounded_never_sheds(self):
+        ctl = AdmissionController(None)
+        ctl.try_acquire(10_000)
+        assert ctl.stats()["pending"] == 10_000
+        assert ctl.stats()["capacity"] == -1
+
+    def test_overflow_sheds_with_structured_error(self):
+        ctl = AdmissionController(3)
+        ctl.try_acquire(2)
+        with pytest.raises(ServiceOverloadedError) as err:
+            ctl.try_acquire(2)
+        assert err.value.pending == 2
+        assert err.value.capacity == 3
+        assert err.value.retry_after_seconds > 0
+        stats = ctl.stats()
+        assert stats["shed"] == 2
+        assert stats["pending"] == 2  # the shed batch was never admitted
+
+    def test_release_frees_capacity(self):
+        ctl = AdmissionController(2)
+        ctl.try_acquire(2)
+        ctl.release(2)
+        ctl.try_acquire(2)  # must not raise
+
+    def test_retry_after_tracks_observed_drain_rate(self):
+        ctl = AdmissionController(1, retry_after_hint_seconds=0.05)
+        ctl.try_acquire(1)
+        ctl.release(1, seconds=10.0)  # one very slow request observed
+        ctl.try_acquire(1)
+        with pytest.raises(ServiceOverloadedError) as err:
+            ctl.try_acquire(1)
+        assert err.value.retry_after_seconds > 0.05  # EWMA moved up
+
+    def test_deeper_overflow_waits_longer(self):
+        ctl = AdmissionController(1, retry_after_hint_seconds=0.1)
+        ctl.try_acquire(1)
+        shallow = deep = None
+        with pytest.raises(ServiceOverloadedError) as err:
+            ctl.try_acquire(1)
+        shallow = err.value.retry_after_seconds
+        with pytest.raises(ServiceOverloadedError) as err:
+            ctl.try_acquire(5)
+        deep = err.value.retry_after_seconds
+        assert deep > shallow
+
+    def test_admit_context_releases_on_error(self):
+        ctl = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            with ctl.admit(1):
+                raise RuntimeError("boom")
+        assert ctl.stats()["pending"] == 0
+
+    def test_stats_shape(self):
+        stats = AdmissionController(4).stats()
+        assert set(stats) == {
+            "pending", "admitted", "shed", "capacity",
+            "drain_seconds_per_request",
+        }
+
+    def test_repr(self):
+        assert "unbounded" in repr(AdmissionController())

@@ -1,0 +1,165 @@
+"""FaultInjector: deterministic, seeded, near-zero-overhead when off."""
+
+import time
+
+import pytest
+
+from repro.reliability import FaultPlan, InjectedFault, fault_injector
+from repro.reliability.faults import FaultInjector, _unit_interval
+
+
+class TestFaultPlan:
+    def test_defaults_are_always_error(self):
+        plan = FaultPlan()
+        assert plan.kind == "error" and plan.rate == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"kind": "explode"}, "unknown fault kind"),
+            ({"rate": -0.1}, "rate"),
+            ({"rate": 1.5}, "rate"),
+            ({"delay_seconds": -1.0}, "delay_seconds"),
+            ({"max_triggers": 0}, "max_triggers"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            FaultPlan(**kwargs)
+
+
+class TestFire:
+    def test_disabled_is_a_no_op(self):
+        fault_injector.fire("anything.at.all")  # must not raise
+
+    def test_armed_point_raises_injected_fault(self):
+        with fault_injector.arm({"p": FaultPlan()}):
+            with pytest.raises(InjectedFault) as err:
+                fault_injector.fire("p")
+        assert err.value.point == "p"
+        assert err.value.trigger == 1
+
+    def test_unarmed_point_stays_silent(self):
+        with fault_injector.arm({"p": FaultPlan()}):
+            fault_injector.fire("other.point")  # no plan -> no fault
+
+    def test_disarmed_after_context(self):
+        with fault_injector.arm({"p": FaultPlan()}):
+            pass
+        fault_injector.fire("p")
+        assert not fault_injector.enabled
+
+    def test_max_triggers_caps_firings(self):
+        faults = 0
+        with fault_injector.arm({"p": FaultPlan(max_triggers=2)}):
+            for i in range(10):
+                try:
+                    fault_injector.fire("p", key=i)
+                except InjectedFault:
+                    faults += 1
+        assert faults == 2
+
+    def test_delay_plan_sleeps(self):
+        plan = FaultPlan(kind="delay", delay_seconds=0.05)
+        with fault_injector.arm({"p": plan}):
+            t0 = time.perf_counter()
+            fault_injector.fire("p")
+            assert time.perf_counter() - t0 >= 0.05
+
+    def test_corrupt_plan_is_noop_for_fire(self):
+        with fault_injector.arm({"p": FaultPlan(kind="corrupt")}):
+            fault_injector.fire("p")  # corrupt acts via corrupt_bytes only
+
+
+class TestDeterminism:
+    def _decisions(self, seed, keys, rate):
+        injector = FaultInjector()
+        out = []
+        with injector.arm({"p": FaultPlan(rate=rate)}, seed=seed):
+            for k in keys:
+                try:
+                    injector.fire("p", key=k)
+                    out.append(False)
+                except InjectedFault:
+                    out.append(True)
+        return out
+
+    def test_same_seed_same_keys_same_decisions(self):
+        keys = list(range(200))
+        assert self._decisions(7, keys, 0.3) == self._decisions(7, keys, 0.3)
+
+    def test_decisions_are_schedule_independent(self):
+        """The decision for a key doesn't depend on arrival order."""
+        keys = list(range(100))
+        forward = self._decisions(3, keys, 0.5)
+        backward = self._decisions(3, list(reversed(keys)), 0.5)
+        assert forward == list(reversed(backward))
+
+    def test_rate_roughly_honored(self):
+        hits = sum(self._decisions(0, range(1000), 0.3))
+        assert 200 < hits < 400
+
+    def test_different_seeds_differ(self):
+        keys = list(range(200))
+        assert self._decisions(1, keys, 0.5) != self._decisions(2, keys, 0.5)
+
+    def test_unit_interval_range(self):
+        for k in range(100):
+            u = _unit_interval(0, "p", k, "trigger")
+            assert 0.0 <= u < 1.0
+
+
+class TestCorruptBytes:
+    def test_flips_exactly_one_byte(self):
+        data = bytes(range(64))
+        with fault_injector.arm({"p": FaultPlan(kind="corrupt")}, seed=5):
+            out = fault_injector.corrupt_bytes("p", data, key="k")
+        diff = [i for i in range(64) if out[i] != data[i]]
+        assert len(diff) == 1
+        assert out[diff[0]] == data[diff[0]] ^ 0xFF
+
+    def test_deterministic_position(self):
+        data = b"x" * 128
+        outs = []
+        for _ in range(2):
+            injector = FaultInjector()
+            with injector.arm({"p": FaultPlan(kind="corrupt")}, seed=9):
+                outs.append(injector.corrupt_bytes("p", data, key="k"))
+        assert outs[0] == outs[1] != data
+
+    def test_noop_when_disabled_or_unplanned(self):
+        data = b"payload"
+        assert fault_injector.corrupt_bytes("p", data) == data
+        with fault_injector.arm({"q": FaultPlan(kind="corrupt")}):
+            assert fault_injector.corrupt_bytes("p", data) == data
+
+    def test_noop_on_empty_payload(self):
+        with fault_injector.arm({"p": FaultPlan(kind="corrupt")}):
+            assert fault_injector.corrupt_bytes("p", b"") == b""
+
+
+class TestBookkeeping:
+    def test_stats_count_arrivals_and_triggers(self):
+        with fault_injector.arm({"p": FaultPlan(max_triggers=1)}):
+            for i in range(3):
+                try:
+                    fault_injector.fire("p", key=i)
+                except InjectedFault:
+                    pass
+            stats = fault_injector.stats()
+        assert stats["p"] == {"arrivals": 3, "triggers": 1}
+
+    def test_configure_rejects_non_plans(self):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            fault_injector.configure({"p": "error"})
+
+    def test_reset_clears_everything(self):
+        fault_injector.configure({"p": FaultPlan()})
+        fault_injector.enabled = True
+        fault_injector.reset()
+        assert not fault_injector.enabled
+        assert fault_injector.stats() == {}
+        fault_injector.fire("p")  # plans dropped
+
+    def test_repr_names_state(self):
+        assert "disarmed" in repr(fault_injector)
