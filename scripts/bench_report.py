@@ -145,6 +145,7 @@ def bench_kernels(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     out.update(bench_ingest(quick, repeats))
     out.update(bench_api(quick, repeats))
     out.update(bench_workloads(quick, repeats))
+    out.update(bench_serving(quick, repeats))
     out.update(bench_reliability(quick, repeats))
 
     for entry in out.values():
@@ -309,12 +310,26 @@ def bench_generation(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
         }
 
     best_wall = min(e["wall_s"] for e in shards_curve.values())
+    best_critical = min(e["critical_path_s"] for e in shards_curve.values())
+    reference_s = _best_of(monolithic, repeats)
     return {
         "generation.sharded": {
             "n": n,
             "edges": n * n,
-            "reference_s": _best_of(monolithic, repeats),
+            "reference_s": reference_s,
             "vectorized_s": best_wall,
+            # `speedup` (reference_s / vectorized_s) compares *serial*
+            # sharded wall-clock and hovers near 1 by construction; the
+            # decomposition win is the critical path — the slowest
+            # single shard, i.e. the parallel wall-clock an executor
+            # with enough free cores approaches.  Report it explicitly
+            # so the entry cannot be read as "sharding bought nothing".
+            "critical_path_s": best_critical,
+            "critical_path_speedup": (
+                reference_s / best_critical
+                if best_critical > 0
+                else float("inf")
+            ),
             "shards": shards_curve,
         }
     }
@@ -515,6 +530,111 @@ def bench_workloads(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
         "service": curve,
     }
     return out
+
+
+def bench_serving(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Multi-process serving tier: worker-count scaling vs one process.
+
+    One ``workloads.multiprocess_throughput`` entry: ``reference_s``
+    serves a Table-I-shaped serving-mix workload through the
+    single-process serial ``QueryService``; ``vectorized_s`` is the
+    best wall-clock of ``ProcessQueryService`` across worker counts
+    (1, 2, 4), with the full queries/sec curve under ``workers``.
+    Requests travel in the tier's native columnar form, so the timing
+    measures the shared-memory + pipe serving path, not per-query
+    Python.
+
+    Before timing, every worker count is checked against the
+    single-process results (bit-identical cardinalities) and every
+    worker must report ``resident_copy_bytes == 0`` — the
+    one-resident-copy invariant of the shared store segment.
+
+    Scaling is hardware-bound: the ``>= 2x at 4 workers`` target needs
+    at least 4 usable cores.  The entry records ``cpu_count`` and sets
+    ``hardware_limited`` when the host cannot express the parallelism;
+    on capable hosts the run *asserts* the target.
+    """
+    import os
+
+    from repro.serving import ProcessQueryService, encode_queries
+    from repro.workloads import (
+        QueryRequest,
+        QueryService,
+        WorkloadConfig,
+        WorkloadGenerator,
+        serving_mix,
+    )
+
+    n, m, t_len = (200, 2400, 8) if quick else (600, 7200, 10)
+    n_q = 4000 if quick else 40_000
+    batch = 2048
+    worker_counts = (1, 2, 4)
+    rng = np.random.default_rng(17)
+    store = TemporalEdgeStore(
+        n, t_len,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.integers(0, t_len, size=m),
+        rng.normal(size=(t_len, n, 2)),
+    )
+    graph = DynamicAttributedGraph.from_store(store)
+    config = WorkloadConfig(num_queries=n_q, mix=serving_mix(), seed=17)
+    queries = WorkloadGenerator(graph, config).generate()
+    chunks = [queries[i:i + batch] for i in range(0, len(queries), batch)]
+    columnar = [encode_queries(c) for c in chunks]
+    plain = [QueryRequest(c) for c in chunks]
+
+    with QueryService(graph, executor="serial") as single:
+        ref_results = single.run_batch(plain)  # also warms the plan cache
+        assert all(r.ok for r in ref_results)
+        single_s = _best_of(lambda: single.run_batch(plain), repeats)
+    ref_cards = [r.cardinalities for r in ref_results]
+
+    workers_curve: Dict[str, Dict[str, float]] = {}
+    for k in worker_counts:
+        with ProcessQueryService(graph, num_workers=k) as tier:
+            results = tier.run_batch(columnar)  # warm caches + pipes
+            assert all(r.ok for r in results)
+            for got, want in zip(results, ref_cards):
+                assert np.array_equal(got.cardinalities, want), (
+                    f"multiprocess serving parity violated at {k} workers"
+                )
+            stats = tier.worker_stats()
+            assert len(stats) == k and all(
+                s["resident_copy_bytes"] == 0 for s in stats
+            ), "worker holds a resident store copy"
+            wall = _best_of(lambda: tier.run_batch(columnar), repeats)
+        workers_curve[str(k)] = {
+            "wall_s": wall,
+            "qps": n_q / wall if wall else float("inf"),
+        }
+
+    best_wall = min(e["wall_s"] for e in workers_curve.values())
+    speedup_at_4 = single_s / workers_curve["4"]["wall_s"]
+    cpu_count = len(os.sched_getaffinity(0)) if hasattr(
+        os, "sched_getaffinity"
+    ) else (os.cpu_count() or 1)
+    hardware_limited = cpu_count < 4
+    meets_target = speedup_at_4 >= 2.0
+    assert meets_target or hardware_limited, (
+        f"multiprocess serving reached only {speedup_at_4:.2f}x at 4 "
+        f"workers on {cpu_count} cores (target: 2x)"
+    )
+    return {
+        "workloads.multiprocess_throughput": {
+            "n": n,
+            "edges": m,
+            "num_queries": n_q,
+            "reference_s": single_s,
+            "vectorized_s": best_wall,
+            "single_process_qps": n_q / single_s if single_s else float("inf"),
+            "workers": workers_curve,
+            "speedup_at_4": speedup_at_4,
+            "cpu_count": cpu_count,
+            "hardware_limited": hardware_limited,
+            "meets_2x_target": meets_target,
+        }
+    }
 
 
 def bench_reliability(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:

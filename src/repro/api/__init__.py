@@ -19,8 +19,11 @@ generator:
 Query serving rides the same surface: :class:`QueryService` /
 :class:`QueryRequest` / :class:`QueryResult` (from
 :mod:`repro.workloads`, re-exported here) serve workload query mixes
-over a shared engine and bounded plan cache — see
-``docs/workloads.md``.
+over a shared engine and bounded plan cache, and
+:class:`ProcessQueryService` (from :mod:`repro.serving`, with
+:class:`ColumnarQueryRequest` as its native request format) scales
+the same contract across N worker processes mapping the store from
+shared memory — see ``docs/workloads.md``.
 
 Both services speak the reliability vocabulary of
 :mod:`repro.reliability` (re-exported here): per-request failures are
@@ -76,6 +79,7 @@ from repro.reliability import (
     ServiceOverloadedError,
     fault_injector,
 )
+from repro.serving import ColumnarQueryRequest, ProcessQueryService
 from repro.workloads import (
     QueryRequest,
     QueryResult,
@@ -107,10 +111,12 @@ __all__ = [
     "GenerationRequest",
     "GenerationResult",
     "GenerationService",
-    # query serving (repro.workloads)
+    # query serving (repro.workloads / repro.serving)
     "QueryRequest",
     "QueryResult",
     "QueryService",
+    "ColumnarQueryRequest",
+    "ProcessQueryService",
     # reliability (repro.reliability)
     "DeadlineExceededError",
     "FaultPlan",

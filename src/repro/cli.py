@@ -162,10 +162,29 @@ def _build_parser() -> argparse.ArgumentParser:
     bq.add_argument("--num-queries", type=int, default=1000)
     bq.add_argument("--batch-size", type=int, default=256)
     bq.add_argument(
-        "--executor", choices=("serial", "thread"), default="thread",
+        "--executor", choices=("serial", "thread", "process"),
+        default="thread",
+        help="'serial'/'thread' run the single-process QueryService; "
+        "'process' runs the multi-process serving tier "
+        "(ProcessQueryService: shared-memory store segments + "
+        "request router, see docs/workloads.md)",
     )
     bq.add_argument("--workers", type=int, default=None,
-                    help="thread-pool width (default: cpu count)")
+                    help="thread-pool width, or worker-process count "
+                    "for --executor process (default: cpu count / 2 "
+                    "processes)")
+    bq.add_argument(
+        "--worker-sweep", default=None,
+        help="comma-separated worker counts (process executor only): "
+        "replay the workload once per count and emit the scaling "
+        "curve under 'scaling'",
+    )
+    bq.add_argument(
+        "--verify-single-process", action="store_true",
+        help="also run the workload through a single-process serial "
+        "QueryService and fail (nonzero exit) unless results are "
+        "bit-identical",
+    )
     bq.add_argument(
         "--cache-budget-mb", type=float, default=None,
         help="bound on the snapshot-plan cache (default: unbounded)",
@@ -322,22 +341,37 @@ def _cmd_bench_queries(args) -> int:
         if args.cache_budget_mb is not None
         else None
     )
-    try:
-        config = WorkloadConfig(
-            num_queries=args.num_queries, mix=mix, seed=args.seed
-        )
-        service = QueryService(
+    deadline_seconds = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
+    if args.worker_sweep is not None and args.executor != "process":
+        return fail("--worker-sweep requires --executor process")
+
+    def make_service(num_workers=None):
+        if args.executor == "process":
+            from repro.serving import ProcessQueryService
+
+            return ProcessQueryService(
+                graph,
+                num_workers=num_workers or args.workers or 2,
+                cache_memory_budget_bytes=budget,
+                deadline_seconds=deadline_seconds,
+                max_pending=args.max_pending,
+            )
+        return QueryService(
             graph,
             executor=args.executor,
             max_workers=args.workers,
             cache_memory_budget_bytes=budget,
-            deadline_seconds=(
-                args.deadline_ms / 1000.0
-                if args.deadline_ms is not None
-                else None
-            ),
+            deadline_seconds=deadline_seconds,
             max_pending=args.max_pending,
         )
+
+    try:
+        config = WorkloadConfig(
+            num_queries=args.num_queries, mix=mix, seed=args.seed
+        )
+        service = make_service()
     except ValueError as exc:
         return fail(str(exc))
     with service:
@@ -371,22 +405,93 @@ def _cmd_bench_queries(args) -> int:
                 "misses": stats.misses,
                 "evictions": stats.evictions,
                 "resident_bytes": stats.resident_bytes,
+                "bypasses": stats.bypasses,
+                "hit_rate": stats.hit_rate,
             },
             "failed_requests": sum(1 for r in results if not r.ok),
         }
+        if args.executor == "process":
+            payload["workers"] = service.num_workers
+            payload["worker_stats"] = service.worker_stats()
+            payload["shared_memory"] = service.shared_memory_stats()
         if args.compare_per_query:
-            # the replayed sequence is already in the results —
-            # rerun the identical queries through per-query dispatch
-            queries = [
-                q for r in results for q in r.request.queries
-            ]
-            baseline = execute_workload(service.engine, queries)
+            # rerun the identical deterministic query sequence through
+            # per-query dispatch (a local engine for the process tier)
+            from repro.workloads import WorkloadGenerator
+
+            if args.executor == "process":
+                from repro.workloads.engine import GraphQueryEngine
+
+                engine = GraphQueryEngine(graph)
+            else:
+                engine = service.engine
+            queries = WorkloadGenerator(graph, config).generate()
+            baseline = execute_workload(engine, queries)
             payload["per_query_qps"] = baseline.throughput()
             payload["batched_speedup"] = (
                 baseline.total_seconds / report.total_seconds
                 if report.total_seconds
                 else float("inf")
             )
+        if args.verify_single_process:
+            import numpy as np
+
+            with QueryService(graph, executor="serial") as reference:
+                ref_report, ref_results = reference.run_workload(
+                    config, batch_size=args.batch_size
+                )
+            if len(results) != len(ref_results):
+                return fail(
+                    "verification failed: request counts differ "
+                    f"({len(results)} vs {len(ref_results)})"
+                )
+            for i, (got, want) in enumerate(zip(results, ref_results)):
+                if not (got.ok and want.ok):
+                    return fail(
+                        f"verification failed: request {i} did not "
+                        "complete on both tiers "
+                        f"({got.error or 'ok'} vs {want.error or 'ok'})"
+                    )
+                if not np.array_equal(
+                    got.cardinalities, want.cardinalities
+                ):
+                    return fail(
+                        f"verification failed: request {i} results "
+                        "differ from single-process serving"
+                    )
+            payload["verified_single_process"] = True
+            payload["single_process_qps"] = ref_report.throughput()
+    if args.worker_sweep is not None:
+        try:
+            counts = sorted(
+                {int(w) for w in args.worker_sweep.split(",") if w.strip()}
+            )
+            if not counts or any(c < 1 for c in counts):
+                raise ValueError
+        except ValueError:
+            return fail(
+                "--worker-sweep must be comma-separated positive ints"
+            )
+        scaling = []
+        for count in counts:
+            try:
+                with make_service(num_workers=count) as swept:
+                    sweep_report, sweep_results = swept.run_workload(
+                        config, batch_size=args.batch_size
+                    )
+            except ValueError as exc:
+                return fail(str(exc))
+            scaling.append(
+                {
+                    "workers": count,
+                    "qps": sweep_report.throughput(),
+                    "seconds": sweep_report.total_seconds,
+                    "failed_requests": sum(
+                        1 for r in sweep_results if not r.ok
+                    ),
+                }
+            )
+        payload["scaling"] = scaling
     if args.json:
         print(json.dumps(payload))
     else:

@@ -34,6 +34,7 @@ from repro.reliability.errors import (
     ReliabilityError,
     RequestFailure,
     ServiceOverloadedError,
+    WorkerCrashError,
 )
 from repro.reliability.faults import FaultInjector, FaultPlan, fault_injector
 from repro.reliability.retry import Deadline, RetryPolicy
@@ -50,5 +51,6 @@ __all__ = [
     "RequestFailure",
     "RetryPolicy",
     "ServiceOverloadedError",
+    "WorkerCrashError",
     "fault_injector",
 ]

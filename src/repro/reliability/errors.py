@@ -16,6 +16,10 @@ exception classes, so callers (and the chaos suite) can branch on
   queueing unboundedly or hanging.
 * :class:`CheckpointError` — a streaming-ingestion checkpoint file is
   corrupted, truncated, or inconsistent with the resuming builder.
+* :class:`WorkerCrashError` — a serving-tier worker process died
+  (crashed or was killed) while holding in-flight requests; the
+  router respawns the worker and either retries or fails the
+  affected requests individually.
 
 Per-request failures inside a service batch are not raised at all —
 they come back as :class:`RequestFailure` values on the affected
@@ -33,6 +37,7 @@ __all__ = [
     "ReliabilityError",
     "RequestFailure",
     "ServiceOverloadedError",
+    "WorkerCrashError",
 ]
 
 
@@ -101,6 +106,26 @@ class ServiceOverloadedError(ReliabilityError):
 
 class CheckpointError(ReliabilityError):
     """A streaming-ingestion checkpoint cannot be trusted or applied."""
+
+
+class WorkerCrashError(ReliabilityError):
+    """A serving-tier worker process died with requests in flight.
+
+    ``worker_id`` names the worker; ``exit_code`` its wait status when
+    known.  Treated as transient by the router: the worker is
+    respawned and, when a retry policy allows, the lost requests are
+    resubmitted — otherwise each surfaces as a per-request
+    :class:`RequestFailure` naming this class.
+    """
+
+    def __init__(self, worker_id: int, exit_code=None):
+        self.worker_id = int(worker_id)
+        self.exit_code = exit_code
+        detail = "" if exit_code is None else f" (exit code {exit_code})"
+        super().__init__(
+            f"serving worker {worker_id} died with requests in "
+            f"flight{detail}"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,322 @@
+"""Shared-memory store segments: one resident copy of the graph.
+
+The columnar :class:`~repro.graph.store.TemporalEdgeStore` is already
+the memory model the whole system shares — flat int64 columns, one
+attribute block, every view zero-copy.  This module extends that
+sharing across *process* boundaries: :class:`SharedStoreSegment`
+copies the store's five arrays (``src``, ``dst``, ``t``, ``offsets``,
+``attributes``) into a single ``multiprocessing.shared_memory`` block
+once, and every worker process reconstructs a read-only
+:class:`TemporalEdgeStore` whose arrays are views *into that block* —
+no per-worker copy, no pickling of graph objects, no serialization on
+the request path.
+
+The layout is described by a :class:`StoreManifest`: a small, plain,
+picklable record (segment name + per-array dtype/shape/offset) that
+is the only thing shipped to workers at startup.  Attaching is pure
+pointer arithmetic: ``np.ndarray(shape, dtype, buffer=shm.buf,
+offset=...)`` per array.
+
+**One-resident-copy accounting.**  The invariant the serving tier
+asserts is not an RSS guess but the same owned-bytes convention the
+:class:`~repro.workloads.cache.SnapshotPlanCache` uses: an array
+whose ``base`` is set is a view of memory someone else owns.
+:func:`resident_copy_bytes` sums the bytes of a store's arrays that
+the *calling process* owns outright — 0 for an attached store (every
+array is a view of the shared block), the full column footprint for
+an ordinary in-process store.
+
+**Lifecycle.**  The creating process owns the segment: it keeps the
+block registered with the ``multiprocessing`` resource tracker and
+must call :meth:`SharedStoreSegment.close` (unmap + unlink) when the
+tier shuts down.  Attaching processes deliberately *unregister* their
+handle from their resource tracker (see :func:`_open_untracked`) —
+otherwise a worker exit (clean or crashed) would let its tracker
+unlink the segment out from under every sibling worker.  Segment
+lifecycle under crashes and mid-batch teardown is pinned by
+``tests/serving/test_lifecycle.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.store import TemporalEdgeStore
+
+__all__ = [
+    "ArraySpec",
+    "AttachedStore",
+    "SharedStoreSegment",
+    "StoreManifest",
+    "attach_store",
+    "resident_copy_bytes",
+]
+
+#: The store arrays a segment carries, in layout order.
+_FIELDS = ("src", "dst", "t", "offsets", "attributes")
+
+#: Segment offsets are aligned so every array starts on a cache line.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one store array inside the shared block."""
+
+    field: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        size = int(np.prod(self.shape)) if self.shape else 1
+        return size * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """Everything a worker needs to attach the store: plain data only.
+
+    ``segment_name`` is the OS-level shared-memory name;
+    ``total_bytes`` the block size (also the segment side of the
+    one-resident-copy accounting).  The manifest is picklable and
+    tiny — it is the entire startup payload of a worker.
+    """
+
+    segment_name: str
+    num_nodes: int
+    num_timesteps: int
+    arrays: Tuple[ArraySpec, ...]
+    total_bytes: int
+
+    def spec(self, field: str) -> ArraySpec:
+        for spec in self.arrays:
+            if spec.field == field:
+                return spec
+        raise KeyError(f"manifest has no array {field!r}")
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without resource-tracker ownership.
+
+    The stdlib registers every ``SharedMemory`` handle with the
+    process's resource tracker, which unlinks "leaked" segments when
+    the registering process exits.  That is correct for the creator
+    and wrong for attachers: a worker exiting (or crashing) must not
+    destroy the segment its siblings are serving from.  Python 3.13+
+    exposes ``track=False``; on older versions registration is
+    suppressed during the attach.  (Suppressing beats
+    register-then-``unregister``: a forked worker shares the parent's
+    tracker process, so an unregister from the worker would erase the
+    *creator's* registration and break its cleanup.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+def _map_array(
+    shm: shared_memory.SharedMemory, spec: ArraySpec, writeable: bool
+) -> np.ndarray:
+    arr = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf,
+        offset=spec.offset,
+    )
+    if not writeable:
+        arr.flags.writeable = False
+    return arr
+
+
+def resident_copy_bytes(store: TemporalEdgeStore) -> int:
+    """Bytes of ``store``'s column data this process owns outright.
+
+    The owned-bytes convention of the plan cache, applied to the
+    store itself: arrays with ``base is None`` are owned allocations,
+    arrays with a ``base`` are views of memory owned elsewhere (the
+    shared segment, or another store).  An attached worker store
+    reports 0 — the one-resident-copy assertion of the serving tier.
+    """
+    arrays = (store.src, store.dst, store.t, store.offsets,
+              store.attributes)
+    return sum(a.nbytes for a in arrays if a.base is None)
+
+
+class SharedStoreSegment:
+    """Owner-side export of one store into one shared-memory block.
+
+    Parameters
+    ----------
+    store:
+        The :class:`TemporalEdgeStore` to export.  Its five arrays
+        are copied into the block once (the only copy the tier ever
+        makes); the source store is not referenced afterwards.
+
+    The segment is the *single* resident copy of the graph columns
+    for the whole worker pool; :attr:`manifest` is what workers
+    attach through.  Close with :meth:`close` (idempotent) — it
+    unmaps and unlinks, after which new attaches fail with
+    ``FileNotFoundError`` and existing mappings stay valid until
+    their processes detach (POSIX unlink semantics).
+    """
+
+    def __init__(self, store: TemporalEdgeStore):
+        specs = []
+        offset = 0
+        for field in _FIELDS:
+            arr = np.ascontiguousarray(getattr(store, field))
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            specs.append(
+                ArraySpec(field, arr.dtype.str, arr.shape, offset)
+            )
+            offset += arr.nbytes
+        total = max(offset, 1)  # zero-byte segments are not allocatable
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(create=True, size=total)
+        )
+        for field, spec in zip(_FIELDS, specs):
+            src = np.ascontiguousarray(getattr(store, field))
+            if src.size:
+                _map_array(self._shm, spec, writeable=True)[...] = src
+        self.manifest = StoreManifest(
+            segment_name=self._shm.name,
+            num_nodes=store.num_nodes,
+            num_timesteps=store.num_timesteps,
+            arrays=tuple(specs),
+            total_bytes=total,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """OS-level segment name (for diagnostics and leak checks)."""
+        return self.manifest.segment_name
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared block — the one resident copy's bytes."""
+        return self.manifest.total_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def view_store(self) -> TemporalEdgeStore:
+        """A zero-copy store over the owner's own mapping.
+
+        Mostly for tests: the owner can verify the exported bytes
+        reconstruct the source store exactly without spawning a
+        worker.
+        """
+        if self._shm is None:
+            raise ValueError("segment is closed")
+        return _build_store(self._shm, self.manifest)
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedStoreSegment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else self.name
+        return (
+            f"SharedStoreSegment({state}, bytes={self.nbytes}, "
+            f"N={self.manifest.num_nodes}, "
+            f"T={self.manifest.num_timesteps})"
+        )
+
+
+def _build_store(
+    shm: shared_memory.SharedMemory, manifest: StoreManifest
+) -> TemporalEdgeStore:
+    """Read-only zero-copy :class:`TemporalEdgeStore` over ``shm``."""
+    arrays = {
+        spec.field: _map_array(shm, spec, writeable=False)
+        for spec in manifest.arrays
+    }
+    store = TemporalEdgeStore(
+        manifest.num_nodes,
+        manifest.num_timesteps,
+        arrays["src"],
+        arrays["dst"],
+        arrays["t"],
+        arrays["attributes"],
+        validate=False,
+        canonical=True,
+    )
+    # the constructor recomputes offsets (a small owned array);
+    # replace it with the exported view so *every* store array is a
+    # zero-copy view of the segment and resident_copy_bytes() is 0
+    store.offsets = arrays["offsets"]
+    return store
+
+
+class AttachedStore:
+    """Worker-side handle: an attached segment + its store view.
+
+    ``store`` is a read-only zero-copy :class:`TemporalEdgeStore`
+    over the shared block (``resident_copy_bytes(store) == 0``).
+    Keep this handle alive as long as the store is in use — closing
+    it unmaps the block — and :meth:`close` on worker shutdown.
+    Attaching never takes resource-tracker ownership, so worker
+    exits (clean or crashed) cannot unlink the segment.
+    """
+
+    def __init__(self, manifest: StoreManifest):
+        self.manifest = manifest
+        self._shm: Optional[shared_memory.SharedMemory] = _open_untracked(
+            manifest.segment_name
+        )
+        self.store = _build_store(self._shm, manifest)
+
+    def close(self) -> None:
+        """Unmap the block (never unlinks — the owner does that)."""
+        shm, self._shm = self._shm, None
+        self.store = None
+        if shm is not None:
+            shm.close()
+
+    def __enter__(self) -> "AttachedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_store(manifest: StoreManifest) -> AttachedStore:
+    """Attach the segment named by ``manifest`` (worker entry point).
+
+    Raises ``FileNotFoundError`` when the segment no longer exists —
+    the worker-side symptom of a router that already shut down.
+    """
+    return AttachedStore(manifest)

@@ -1,0 +1,256 @@
+"""Worker side of the multi-process serving tier.
+
+Each worker is one long-lived process that attaches the shared store
+segment (:func:`~repro.serving.segments.attach_store` — zero-copy,
+zero owned column bytes), builds the full existing engine stack on
+top of it (:class:`~repro.workloads.engine.GraphQueryEngine` with its
+own bounded :class:`~repro.workloads.cache.SnapshotPlanCache`), and
+then answers :class:`~repro.serving.protocol.ColumnarQueryRequest`
+batches off a duplex pipe until told to stop.
+
+The worker owns the *execution* half of the reliability contract —
+the same half :class:`~repro.workloads.service.QueryService` runs
+in-process:
+
+* per-request ``serving.worker`` fault-injection point, keyed by
+  ``(worker_id, request_id, attempt)`` so chaos schedules are
+  deterministic regardless of routing;
+* a local :class:`~repro.reliability.RetryPolicy` (shipped in
+  :class:`WorkerConfig`) retries transient in-worker faults with
+  deterministic backoff — the router only retries worker *death*, so
+  a fault is never retried on both sides of the pipe;
+* cooperative per-request :class:`~repro.reliability.Deadline`
+  (remaining budget shipped with each request) checked at request
+  start and between retry attempts;
+* any other exception becomes a structured error reply — the worker
+  process never dies from a request-level failure.
+
+Process death itself is a first-class chaos scenario: the
+``serving.worker_exit`` injection point, when armed with an
+``"error"`` plan, makes the worker ``os._exit(13)`` mid-request —
+an un-catchable crash from the router's point of view, which is
+exactly what the respawn/retry path and the segment-lifecycle tests
+need to provoke deterministically.
+
+**Fault determinism across start methods.**  A forked worker inherits
+the parent's armed :data:`~repro.reliability.fault_injector`
+(arrival counters and all), a spawned worker gets a fresh one — so
+the worker never trusts inherited state: it resets the injector and
+re-arms it from the plans/seed carried in :class:`WorkerConfig`.
+Chaos schedules are therefore a pure function of the config under
+both start methods.
+
+Wire messages (see :class:`~repro.serving.router.ProcessQueryService`
+for the parent half):
+
+* parent → worker: ``("run", request_id, columns, budget_seconds,
+  attempt_base)``, ``("stats", request_id)``, ``("stop",)``
+
+``attempt_base`` is the number of attempts the router already spent
+on this request in *previous* worker incarnations (crash resends);
+the worker offsets its fault-injection attempt keys by it so a
+resend is a fresh arrival to rate-based fault plans rather than a
+deterministic replay of the crash that killed its predecessor.
+* worker → parent: ``("ok", request_id, cardinalities,
+  seconds_by_kind, seconds, attempts, degraded_kinds)``,
+  ``("err", request_id, error_type, message, attempts)``,
+  ``("stats", request_id, payload)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+from repro.reliability import Deadline, RetryPolicy, fault_injector
+from repro.reliability.faults import FaultPlan
+from repro.serving.protocol import ColumnarQueryRequest, execute_encoded
+from repro.serving.segments import StoreManifest, attach_store, resident_copy_bytes
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything one worker needs, shipped once at spawn time.
+
+    Picklable and small: the store arrives by shared-memory name
+    (``manifest``), not by value.  ``fault_plans`` / ``fault_seed`` /
+    ``fault_enabled`` replicate the parent's fault-injector arming so
+    chaos schedules survive the process boundary (see module
+    docstring); a parent with a disarmed injector ships
+    ``fault_enabled=False`` and the worker runs clean.
+    """
+
+    manifest: StoreManifest
+    worker_id: int
+    cache_memory_budget_bytes: Optional[int] = None
+    cache_max_plans: Optional[int] = None
+    batched: bool = True
+    retry_policy: Optional[RetryPolicy] = None
+    fault_plans: Dict[str, FaultPlan] = field(default_factory=dict)
+    fault_seed: int = 0
+    fault_enabled: bool = False
+
+
+def _arm_from_config(config: WorkerConfig) -> None:
+    """Reset inherited injector state and re-arm from the config."""
+    fault_injector.reset()
+    if config.fault_enabled and config.fault_plans:
+        fault_injector.configure(
+            config.fault_plans, seed=config.fault_seed
+        )
+        fault_injector.enabled = True
+
+
+def _build_engine(config: WorkerConfig, store):
+    from repro.graph.dynamic import DynamicAttributedGraph
+    from repro.workloads.engine import GraphQueryEngine
+
+    graph = DynamicAttributedGraph.from_store(store)
+    engine = GraphQueryEngine(
+        graph,
+        cache_memory_budget_bytes=config.cache_memory_budget_bytes,
+        cache_max_plans=config.cache_max_plans,
+    )
+    engine.plans  # materialize the per-worker plan cache eagerly
+    return engine
+
+
+def _execute(
+    config: WorkerConfig,
+    engine,
+    request_id: int,
+    enc: ColumnarQueryRequest,
+    budget_seconds: Optional[float],
+    attempt_base: int = 0,
+) -> Tuple:
+    """Run one request batch; returns the reply tuple to send."""
+    start = perf_counter()
+    deadline = Deadline.after(budget_seconds)
+    attempt_counter = 0
+
+    def attempt():
+        nonlocal attempt_counter
+        attempt_counter += 1
+        if deadline is not None:
+            deadline.check()
+        key = (
+            config.worker_id,
+            request_id,
+            attempt_base + attempt_counter,
+        )
+        # worker_exit first: a death plan must kill the process even
+        # when a serving.worker error plan is armed alongside it
+        try:
+            fault_injector.fire("serving.worker_exit", key=key)
+        except Exception:
+            import os
+
+            os._exit(13)
+        fault_injector.fire("serving.worker", key=key)
+        return execute_encoded(engine, enc, degrade=config.batched)
+
+    try:
+        if config.retry_policy is not None:
+            (cards, by_kind, degraded), attempts = config.retry_policy.run(
+                attempt, key=request_id, deadline=deadline
+            )
+        else:
+            cards, by_kind, degraded = attempt()
+            attempts = 1
+        return (
+            "ok",
+            request_id,
+            cards,
+            by_kind,
+            perf_counter() - start,
+            attempts,
+            tuple(sorted(degraded)),
+        )
+    except Exception as exc:
+        attempts = getattr(exc, "_retry_attempts", None) or max(
+            attempt_counter, 1
+        )
+        return (
+            "err",
+            request_id,
+            type(exc).__name__,
+            str(exc),
+            int(attempts),
+        )
+
+
+def _stats_payload(engine, store) -> Dict:
+    s = engine.plans.stats()
+    return {
+        "plan_cache": {
+            "hits": s.hits,
+            "misses": s.misses,
+            "evictions": s.evictions,
+            "resident_plans": s.resident_plans,
+            "resident_bytes": s.resident_bytes,
+            "bypasses": s.bypasses,
+        },
+        "resident_copy_bytes": resident_copy_bytes(store),
+        "fault_points": fault_injector.stats(),
+    }
+
+
+def worker_main(config: WorkerConfig, conn) -> None:
+    """Entry point of one worker process (runs until ``stop`` or EOF).
+
+    ``conn`` is the worker end of a duplex
+    ``multiprocessing.Pipe``.  Startup failures (segment already
+    unlinked, bad manifest) are reported as an ``("err", -1, ...)``
+    reply before exiting, so the router can distinguish "worker could
+    not start" from "worker crashed".
+    """
+    try:
+        attached = attach_store(config.manifest)
+        _arm_from_config(config)
+        engine = _build_engine(config, attached.store)
+    except Exception as exc:
+        try:
+            conn.send(("err", -1, type(exc).__name__, str(exc), 1))
+        except Exception:
+            pass
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # router went away; exit quietly
+            tag = message[0]
+            if tag == "stop":
+                break
+            if tag == "stats":
+                conn.send(
+                    ("stats", message[1], _stats_payload(engine, attached.store))
+                )
+                continue
+            if tag == "run":
+                _, request_id, columns, budget_seconds, attempt_base = message
+                try:
+                    enc = ColumnarQueryRequest.from_columns(columns)
+                    reply = _execute(
+                        config, engine, request_id, enc,
+                        budget_seconds, attempt_base,
+                    )
+                except Exception as exc:  # decode/validation failures
+                    reply = (
+                        "err", request_id, type(exc).__name__, str(exc), 1,
+                    )
+                conn.send(reply)
+                continue
+            conn.send(
+                ("err", -1, "ValueError", f"unknown message {tag!r}", 1)
+            )
+    finally:
+        attached.close()
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -1,0 +1,70 @@
+"""Serving-suite fixtures: tiny attributed store, deterministic workload.
+
+The injector fixture mirrors ``tests/reliability``: the global
+:data:`~repro.reliability.fault_injector` never leaks across tests —
+which matters doubly here because worker processes re-arm themselves
+from plans captured at spawn time.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.graph.dynamic import DynamicAttributedGraph
+from repro.graph.store import TemporalEdgeStoreBuilder
+from repro.reliability import fault_injector
+from repro.workloads import WorkloadConfig, WorkloadGenerator, serving_mix
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    fault_injector.reset()
+    yield
+    fault_injector.reset()
+
+
+@pytest.fixture
+def serving_graph():
+    """N=40, T=6, F=2 attributed graph — big enough for every kind."""
+    rng = np.random.default_rng(0)
+    n, t_len = 40, 6
+    builder = TemporalEdgeStoreBuilder(num_nodes=n, num_attributes=2)
+    for _ in range(t_len):
+        builder.add_step(
+            rng.integers(0, n, 50),
+            rng.integers(0, n, 50),
+            attributes=rng.normal(size=(n, 2)),
+        )
+    return DynamicAttributedGraph.from_store(builder.build())
+
+
+@pytest.fixture
+def serving_queries(serving_graph):
+    """400 deterministic serving-mix queries over ``serving_graph``."""
+    config = WorkloadConfig(num_queries=400, mix=serving_mix(), seed=5)
+    return WorkloadGenerator(serving_graph, config).generate()
+
+
+def segment_exists(name: str) -> bool:
+    """True while the named shared-memory segment is attachable.
+
+    The portable leak probe the lifecycle tests use: after a clean
+    teardown the attach must fail with ``FileNotFoundError``.
+    """
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    # never let the probe itself unlink the segment on interpreter
+    # exit: drop resource-tracker ownership before closing
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(handle._name, "shared_memory")
+    except Exception:
+        pass
+    handle.close()
+    return True

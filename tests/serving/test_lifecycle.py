@@ -1,0 +1,114 @@
+"""Segment lifecycle: no leaked shared memory, whatever kills the tier.
+
+The probe (`segment_exists`) attaches by OS name, so these tests pin
+the actual kernel object, not Python-side bookkeeping: a leak here
+would survive interpreter exit and eat `/dev/shm` across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import FaultPlan, RetryPolicy, fault_injector
+from repro.serving import ProcessQueryService
+from repro.workloads import QueryRequest, QueryService
+
+from .conftest import segment_exists
+
+
+def _requests(queries, size=50):
+    return [
+        QueryRequest(queries[i:i + size])
+        for i in range(0, len(queries), size)
+    ]
+
+
+def test_clean_shutdown_unlinks_the_segment(
+    serving_graph, serving_queries
+):
+    tier = ProcessQueryService(serving_graph, num_workers=2)
+    name = tier.shared_memory_stats()["segment_name"]
+    assert segment_exists(name)
+    assert all(r.ok for r in tier.run_batch(_requests(serving_queries)))
+    tier.close()
+    assert not segment_exists(name)
+
+
+def test_worker_crash_does_not_unlink_the_segment(
+    serving_graph, serving_queries
+):
+    # a dying worker's exit (clean or os._exit) must never take the
+    # segment with it — attachers hold no resource-tracker ownership
+    with fault_injector.arm(
+        {"serving.worker_exit": FaultPlan(kind="error", rate=0.25)},
+        seed=3,
+    ):
+        with ProcessQueryService(
+            serving_graph,
+            num_workers=2,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_seconds=0.0),
+        ) as tier:
+            name = tier.shared_memory_stats()["segment_name"]
+            results = tier.run_batch(_requests(serving_queries))
+            assert sum(
+                w["respawns"] for w in tier.worker_stats()
+            ) > 0, "chaos plan provoked no crash"
+            # siblings and respawned workers still serve from it
+            assert segment_exists(name)
+            assert all(r.ok for r in results)
+    assert not segment_exists(name)
+
+
+def test_teardown_mid_batch_with_dead_workers(
+    serving_graph, serving_queries
+):
+    # crash-heavy batch with no retry policy: requests fail, workers
+    # die mid-flight — teardown right after must still unlink exactly
+    # once and leave no kernel object behind
+    with fault_injector.arm(
+        {"serving.worker_exit": FaultPlan(kind="error", rate=0.5)},
+        seed=7,
+    ):
+        tier = ProcessQueryService(serving_graph, num_workers=2)
+        name = tier.shared_memory_stats()["segment_name"]
+        results = tier.run_batch(_requests(serving_queries))
+        assert any(not r.ok for r in results), "no crash provoked"
+        tier.close()
+    assert not segment_exists(name)
+
+
+def test_sequential_tiers_do_not_collide(serving_graph, serving_queries):
+    names = []
+    for _ in range(3):
+        with ProcessQueryService(serving_graph, num_workers=1) as tier:
+            names.append(tier.shared_memory_stats()["segment_name"])
+            assert all(
+                r.ok
+                for r in tier.run_batch(_requests(serving_queries)[:2])
+            )
+    assert len(set(names)) == 3
+    assert not any(segment_exists(n) for n in names)
+
+
+def test_spawn_start_method_round_trips(serving_graph, serving_queries):
+    # spawn rebuilds workers from pickled WorkerConfig instead of
+    # inheriting parent memory: the manifest and fault-plan shipping
+    # must carry everything
+    requests = _requests(serving_queries)
+    with QueryService(serving_graph, executor="serial") as single:
+        baseline = single.run_batch(requests)
+    with ProcessQueryService(
+        serving_graph, num_workers=2, start_method="spawn"
+    ) as tier:
+        name = tier.shared_memory_stats()["segment_name"]
+        results = tier.run_batch(requests)
+    assert all(r.ok for r in results)
+    for got, want in zip(results, baseline):
+        np.testing.assert_array_equal(got.cardinalities, want.cardinalities)
+    assert not segment_exists(name)
+
+
+def test_unknown_start_method_rejected(serving_graph):
+    with pytest.raises(ValueError):
+        ProcessQueryService(serving_graph, start_method="nope")

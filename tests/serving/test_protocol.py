@@ -1,0 +1,104 @@
+"""Columnar wire protocol: encode/decode inverse, execution parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import FaultPlan, fault_injector
+from repro.serving import decode_queries, encode_queries
+from repro.serving.protocol import (
+    KIND_CODES,
+    ColumnarQueryRequest,
+    execute_encoded,
+)
+from repro.workloads import (
+    GraphQueryEngine,
+    QueryKind,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+from repro.workloads.generator import _run_query
+
+
+def test_kind_codes_are_the_enum_definition_order():
+    # the integer codes are the wire surface: appending new kinds is
+    # fine, reordering existing ones breaks deployed manifests
+    assert KIND_CODES == tuple(QueryKind)
+    assert [k.value for k in KIND_CODES[:5]] == [
+        "out_neighbors", "in_neighbors", "has_edge", "two_hop",
+        "triangle_count",
+    ]
+
+
+def test_encode_decode_is_the_identity(serving_graph):
+    # the default analytics mix exercises the kinds serving_mix skips
+    # (traversals, pattern counts) — cover every kind's arg packing
+    for config in (
+        WorkloadConfig(num_queries=300, seed=5),
+        WorkloadConfig(num_queries=300, seed=9),
+    ):
+        queries = WorkloadGenerator(serving_graph, config).generate()
+        enc = encode_queries(queries)
+        assert len(enc) == len(queries)
+        assert decode_queries(enc) == queries
+
+
+def test_encode_decode_serving_mix(serving_queries):
+    assert decode_queries(encode_queries(serving_queries)) == serving_queries
+
+
+def test_columns_round_trip(serving_queries):
+    enc = encode_queries(serving_queries)
+    rebuilt = ColumnarQueryRequest.from_columns(enc.columns())
+    assert decode_queries(rebuilt) == serving_queries
+
+
+def test_request_validation(serving_queries):
+    enc = encode_queries(serving_queries[:4])
+    with pytest.raises(ValueError):
+        ColumnarQueryRequest(
+            kinds=enc.kinds[:2], ts=enc.ts, a0=enc.a0, a1=enc.a1,
+            a2=enc.a2, a3=enc.a3, f0=enc.f0, f1=enc.f1,
+        )
+    with pytest.raises(ValueError):
+        encode_queries([])
+    bad = enc.kinds.copy()
+    bad[0] = len(KIND_CODES)
+    with pytest.raises(ValueError):
+        ColumnarQueryRequest(
+            kinds=bad, ts=enc.ts, a0=enc.a0, a1=enc.a1,
+            a2=enc.a2, a3=enc.a3, f0=enc.f0, f1=enc.f1,
+        )
+
+
+def test_execute_encoded_matches_per_query_dispatch(serving_graph):
+    config = WorkloadConfig(num_queries=300, seed=7)
+    queries = WorkloadGenerator(serving_graph, config).generate()
+    engine = GraphQueryEngine(serving_graph)
+    reference = np.array([_run_query(engine, q) for q in queries])
+    cards, seconds, degraded = execute_encoded(
+        engine, encode_queries(queries)
+    )
+    np.testing.assert_array_equal(cards, reference)
+    assert degraded == frozenset()
+    assert set(seconds) == {q.kind.value for q in queries}
+
+
+def test_execute_encoded_degrades_per_query_on_kernel_fault(
+    serving_graph, serving_queries
+):
+    engine = GraphQueryEngine(serving_graph)
+    enc = encode_queries(serving_queries)
+    reference, _, _ = execute_encoded(engine, enc)
+    with fault_injector.arm(
+        {"query.batch_kernel": FaultPlan(kind="error", rate=1.0)}, seed=1
+    ):
+        cards, _, degraded = execute_encoded(engine, enc, degrade=True)
+    np.testing.assert_array_equal(cards, reference)
+    assert QueryKind.HAS_EDGE.value in degraded
+    with fault_injector.arm(
+        {"query.batch_kernel": FaultPlan(kind="error", rate=1.0)}, seed=1
+    ):
+        with pytest.raises(Exception):
+            execute_encoded(engine, enc, degrade=False)

@@ -1,0 +1,97 @@
+"""Shared-memory store segments: layout, zero-copy attach, accounting."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.serving import attach_store, resident_copy_bytes
+from repro.serving.segments import SharedStoreSegment, StoreManifest
+
+from .conftest import segment_exists
+
+_FIELDS = ("src", "dst", "t", "offsets", "attributes")
+
+
+@pytest.fixture
+def segment(serving_graph):
+    seg = SharedStoreSegment(serving_graph.store)
+    yield seg
+    seg.close()
+
+
+def test_view_store_round_trips_every_column(serving_graph, segment):
+    view = segment.view_store()
+    for field in _FIELDS:
+        np.testing.assert_array_equal(
+            getattr(view, field), getattr(serving_graph.store, field),
+            err_msg=field,
+        )
+    assert view.num_nodes == serving_graph.store.num_nodes
+    assert view.num_timesteps == serving_graph.store.num_timesteps
+
+
+def test_owned_bytes_accounting(serving_graph, segment):
+    store = serving_graph.store
+    owned = sum(
+        getattr(store, f).nbytes for f in _FIELDS
+        if getattr(store, f).base is None
+    )
+    assert resident_copy_bytes(store) == owned > 0
+    # every array of the exported view is a view into the segment
+    assert resident_copy_bytes(segment.view_store()) == 0
+
+
+def test_manifest_is_plain_aligned_and_picklable(segment):
+    manifest = segment.manifest
+    assert isinstance(manifest, StoreManifest)
+    for spec in manifest.arrays:
+        assert spec.offset % 64 == 0
+        assert spec.offset + spec.nbytes <= manifest.total_bytes
+    assert manifest.spec("src").field == "src"
+    with pytest.raises(KeyError):
+        manifest.spec("nope")
+    restored = pickle.loads(pickle.dumps(manifest))
+    assert restored == manifest
+
+
+def test_attach_is_zero_copy_and_read_only(serving_graph, segment):
+    with attach_store(segment.manifest) as attached:
+        store = attached.store
+        assert resident_copy_bytes(store) == 0
+        np.testing.assert_array_equal(store.src, serving_graph.store.src)
+        with pytest.raises(ValueError):
+            store.src[0] = 99
+
+
+def test_attacher_close_never_unlinks(segment):
+    attached = attach_store(segment.manifest)
+    attached.close()
+    assert attached.store is None
+    # the segment survives its attachers; only the owner unlinks
+    assert segment_exists(segment.name)
+    with attach_store(segment.manifest) as again:
+        assert again.store.num_nodes == segment.manifest.num_nodes
+
+
+def test_owner_close_unlinks_and_is_idempotent(serving_graph):
+    seg = SharedStoreSegment(serving_graph.store)
+    name = seg.name
+    assert segment_exists(name)
+    seg.close()
+    assert seg.closed
+    assert not segment_exists(name)
+    seg.close()  # idempotent
+    with pytest.raises(ValueError):
+        seg.view_store()
+    with pytest.raises(FileNotFoundError):
+        attach_store(seg.manifest)
+
+
+def test_context_manager_cleans_up(serving_graph):
+    with SharedStoreSegment(serving_graph.store) as seg:
+        name = seg.name
+        assert segment_exists(name)
+    assert not segment_exists(name)
