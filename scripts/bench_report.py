@@ -146,6 +146,7 @@ def bench_kernels(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     out.update(bench_api(quick, repeats))
     out.update(bench_workloads(quick, repeats))
     out.update(bench_serving(quick, repeats))
+    out.update(bench_live(quick, repeats))
     out.update(bench_reliability(quick, repeats))
 
     for entry in out.values():
@@ -633,6 +634,188 @@ def bench_serving(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
             "cpu_count": cpu_count,
             "hardware_limited": hardware_limited,
             "meets_2x_target": meets_target,
+        }
+    }
+
+
+def bench_live(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Live serving: query-while-ingesting vs frozen-snapshot serving.
+
+    One ``workloads.live_serving`` entry over a Table-I-shaped graph
+    and the serving mix: ``reference_s`` is the per-batch p50 latency
+    of a frozen serial ``QueryService``; ``vectorized_s`` the per-batch
+    p50 of a ``LiveQueryService`` at the final epoch (identical work,
+    so the delta is the epoch-pinning machinery).  The ``rate_curve``
+    sub-dict records, per target ingest rate, the achieved sustained
+    rate and the mid-ingest batch latencies while a writer thread is
+    sealing timesteps concurrently.
+
+    Three claims are asserted before the entry is written: sustained
+    ingest stays above 100k events/s (pure replay, no pacing), every
+    final-epoch result is bit-identical to frozen serving, each
+    snapshot's edge columns own zero bytes
+    (:func:`~repro.graph.live.snapshot_owned_bytes` — prefix views,
+    not copies), and the live p50 stays within 2x of frozen (plus a
+    5ms scheduler-jitter allowance).
+    """
+    import threading
+
+    from repro.graph.live import LiveStoreBuilder, snapshot_owned_bytes
+    from repro.workloads import (
+        LiveQueryService,
+        QueryRequest,
+        QueryService,
+        WorkloadConfig,
+        WorkloadGenerator,
+        serving_mix,
+    )
+
+    n, m, t_len = (200, 2400, 8) if quick else (600, 7200, 10)
+    n_q = 500 if quick else 2000
+    batch = 64
+    rng = np.random.default_rng(23)
+    store = TemporalEdgeStore(
+        n, t_len,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.integers(0, t_len, size=m),
+        rng.normal(size=(t_len, n, 2)),
+    )
+    graph = DynamicAttributedGraph.from_store(store)
+    offsets = store.offsets
+    config = WorkloadConfig(num_queries=n_q, mix=serving_mix(), seed=23)
+    queries = WorkloadGenerator(graph, config).generate()
+    requests = [
+        QueryRequest(queries[i:i + batch])
+        for i in range(0, len(queries), batch)
+    ]
+
+    def replay_step(builder: LiveStoreBuilder, step: int) -> None:
+        lo, hi = int(offsets[step]), int(offsets[step + 1])
+        builder.extend(store.src[lo:hi], store.dst[lo:hi], store.t[lo:hi])
+
+    # -- sustained ingest rate: full unpaced replay, extend + seal
+    def ingest_only() -> LiveStoreBuilder:
+        builder = LiveStoreBuilder(n, t_len, attributes=store.attributes)
+        for step in range(t_len):
+            replay_step(builder, step)
+            builder.seal_step()
+        return builder
+
+    assert ingest_only().freeze() == store, "live replay parity violated"
+    ingest_s = _best_of(ingest_only, repeats)
+    ingest_rate = store.num_edges / ingest_s if ingest_s else float("inf")
+    assert ingest_rate >= 100_000, (
+        f"live ingest sustained only {ingest_rate:,.0f} events/s "
+        "(target: 100k)"
+    )
+
+    def p50_of(run) -> float:
+        latencies = []
+        for request in requests:
+            t0 = time.perf_counter()
+            run(request)
+            latencies.append(time.perf_counter() - t0)
+        return float(np.median(latencies))
+
+    # -- frozen baseline: per-batch p50 of a warm serial QueryService
+    with QueryService(graph, executor="serial") as frozen:
+        frozen_results = frozen.run_batch(requests)  # warm the plans
+        assert all(r.ok for r in frozen_results)
+        frozen_cards = [r.cardinalities for r in frozen_results]
+        frozen_p50 = min(
+            p50_of(lambda req: frozen.run_batch([req]))
+            for _ in range(repeats)
+        )
+
+    # -- live serving at a sweep of target ingest rates
+    rate_curve: Dict[str, Dict[str, object]] = {}
+    for label, rate in (
+        ("100k", 100_000.0),
+        ("400k", 400_000.0),
+        ("unthrottled", None),
+    ):
+        builder = LiveStoreBuilder(n, t_len, attributes=store.attributes)
+        writer_error: list = []
+        writer_stats: Dict[str, float] = {}
+
+        def write(builder=builder, rate=rate):
+            start = time.perf_counter()
+            try:
+                for step in range(t_len):
+                    replay_step(builder, step)
+                    if rate is not None:
+                        lag = (
+                            builder.events_ingested / rate
+                            - (time.perf_counter() - start)
+                        )
+                        if lag > 0:
+                            time.sleep(lag)
+                    builder.seal_step()
+            except Exception as exc:
+                writer_error.append(exc)
+            finally:
+                writer_stats["seconds"] = time.perf_counter() - start
+
+        with LiveQueryService(builder, executor="serial") as live:
+            writer = threading.Thread(target=write, daemon=True)
+            writer.start()
+            mid_latencies = []
+            i = 0
+            while writer.is_alive():
+                request = requests[i % len(requests)]
+                t0 = time.perf_counter()
+                live.run_batch([request])
+                mid_latencies.append(time.perf_counter() - t0)
+                i += 1
+            writer.join()
+            assert not writer_error, f"live writer failed: {writer_error[0]}"
+            final_epoch = live.refresh()
+            assert final_epoch == t_len
+            final_latencies = []
+            for request, want in zip(requests, frozen_cards):
+                t0 = time.perf_counter()
+                _, results = live.run_batch([request], refresh=False)
+                final_latencies.append(time.perf_counter() - t0)
+                assert results[0].ok and np.array_equal(
+                    results[0].cardinalities, want
+                ), "live final-epoch parity with frozen serving violated"
+            _, final_store = builder.snapshot()
+            assert snapshot_owned_bytes(final_store) == 0, (
+                "live snapshot copied its edge columns"
+            )
+        seconds = writer_stats["seconds"]
+        rate_curve[label] = {
+            "target_rate": rate,
+            "events_per_s": (
+                builder.events_ingested / seconds
+                if seconds
+                else float("inf")
+            ),
+            "p50_mid_ingest_batch_s": (
+                float(np.median(mid_latencies)) if mid_latencies else None
+            ),
+            "p50_final_epoch_batch_s": float(np.median(final_latencies)),
+            "mid_ingest_batches": len(mid_latencies),
+        }
+
+    live_p50 = min(
+        e["p50_final_epoch_batch_s"] for e in rate_curve.values()
+    )
+    assert live_p50 <= 2.0 * frozen_p50 + 0.005, (
+        f"live serving p50 ({live_p50:.5f}s) exceeds 2x the frozen "
+        f"baseline ({frozen_p50:.5f}s)"
+    )
+    return {
+        "workloads.live_serving": {
+            "n": n,
+            "edges": store.num_edges,
+            "num_queries": n_q,
+            "reference_s": frozen_p50,
+            "vectorized_s": live_p50,
+            "ingest_events_per_s": ingest_rate,
+            "snapshot_owned_bytes": 0,
+            "rate_curve": rate_curve,
         }
     }
 

@@ -23,7 +23,11 @@ over a shared engine and bounded plan cache, and
 :class:`ProcessQueryService` (from :mod:`repro.serving`, with
 :class:`ColumnarQueryRequest` as its native request format) scales
 the same contract across N worker processes mapping the store from
-shared memory — see ``docs/workloads.md``.
+shared memory — see ``docs/workloads.md``.  For stores still
+ingesting, :class:`LiveQueryService` (with
+:class:`~repro.graph.live.LiveStoreBuilder`, both re-exported here)
+answers each request batch against one pinned epoch snapshot,
+bit-identical to a bulk-built store of that epoch's events.
 
 Both services speak the reliability vocabulary of
 :mod:`repro.reliability` (re-exported here): per-request failures are
@@ -79,8 +83,10 @@ from repro.reliability import (
     ServiceOverloadedError,
     fault_injector,
 )
+from repro.graph.live import LiveStoreBuilder
 from repro.serving import ColumnarQueryRequest, ProcessQueryService
 from repro.workloads import (
+    LiveQueryService,
     QueryRequest,
     QueryResult,
     QueryService,
@@ -117,6 +123,8 @@ __all__ = [
     "QueryService",
     "ColumnarQueryRequest",
     "ProcessQueryService",
+    "LiveQueryService",
+    "LiveStoreBuilder",
     # reliability (repro.reliability)
     "DeadlineExceededError",
     "FaultPlan",

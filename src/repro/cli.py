@@ -211,6 +211,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "the batched speedup",
     )
     bq.add_argument(
+        "--live", action="store_true",
+        help="replay the archive's events through a LiveStoreBuilder "
+        "on a writer thread and serve the workload with "
+        "LiveQueryService while ingestion runs; every served batch "
+        "reports its pinned epoch (serial/thread executors only, "
+        "see docs/workloads.md)",
+    )
+    bq.add_argument(
+        "--live-rate", type=float, default=None,
+        help="target sustained ingest rate in events/s for --live "
+        "(default: unthrottled)",
+    )
+    bq.add_argument(
+        "--verify-bulk-equivalence", action="store_true",
+        help="with --live: re-answer every served batch against a "
+        "bulk-built store of its pinned epoch's event prefix and "
+        "fail (nonzero exit) on any mismatch",
+    )
+    bq.add_argument(
         "--json", action="store_true",
         help="machine-readable output: single-line JSON with a status "
         "field; load failures exit nonzero instead of raising",
@@ -296,6 +315,220 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _bench_queries_live(args, graph, mix, budget, deadline_seconds, fail):
+    """``bench-queries --live``: query while ingesting, epochs pinned.
+
+    Replays the archive's own event columns timestep-by-timestep
+    through a :class:`LiveStoreBuilder` on a writer thread (sealing
+    each step, optionally paced by ``--live-rate``) while the main
+    thread serves the deterministic workload through a
+    :class:`LiveQueryService` — once mid-ingest, then once more at the
+    final epoch after the writer joins.  With
+    ``--verify-bulk-equivalence`` every served batch is re-answered
+    against a bulk-built store of its pinned epoch's event prefix and
+    any divergence is a nonzero exit (the ``live-smoke`` CI contract).
+    """
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.graph.dynamic import DynamicAttributedGraph
+    from repro.graph.live import LiveStoreBuilder, snapshot_owned_bytes
+    from repro.graph.store import TemporalEdgeStore
+    from repro.reliability import ServiceOverloadedError
+    from repro.workloads import (
+        LiveQueryService,
+        QueryRequest,
+        WorkloadConfig,
+        WorkloadGenerator,
+        run_queries_batched,
+    )
+    from repro.workloads.engine import GraphQueryEngine
+
+    store = graph.store
+    n_steps = store.num_timesteps
+    offsets = store.offsets
+    try:
+        config = WorkloadConfig(
+            num_queries=args.num_queries, mix=mix, seed=args.seed
+        )
+        queries = WorkloadGenerator(graph, config).generate()
+        if not queries:
+            raise ValueError("workload generated no queries")
+        requests = [
+            QueryRequest(queries[i:i + args.batch_size])
+            for i in range(0, len(queries), args.batch_size)
+        ]
+        builder = LiveStoreBuilder(
+            store.num_nodes, n_steps, attributes=store.attributes
+        )
+        service = LiveQueryService(
+            builder,
+            executor=args.executor,
+            max_workers=args.workers,
+            cache_memory_budget_bytes=budget,
+            deadline_seconds=deadline_seconds,
+            max_pending=args.max_pending,
+        )
+    except ValueError as exc:
+        return fail(str(exc))
+
+    writer_error = []
+    writer_stats = {}
+
+    def write():
+        start = time.perf_counter()
+        try:
+            for step in range(n_steps):
+                lo, hi = int(offsets[step]), int(offsets[step + 1])
+                builder.extend(
+                    store.src[lo:hi], store.dst[lo:hi], store.t[lo:hi]
+                )
+                if args.live_rate is not None:
+                    lag = (
+                        builder.events_ingested / args.live_rate
+                        - (time.perf_counter() - start)
+                    )
+                    if lag > 0:
+                        time.sleep(lag)
+                builder.seal_step()
+        except Exception as exc:
+            writer_error.append(exc)
+        finally:
+            writer_stats["seconds"] = time.perf_counter() - start
+
+    samples = []  # (epoch, request, result) for every served batch
+    live_latencies = []
+    final_latencies = []
+    shed_batches = 0
+    with service:
+        writer = threading.Thread(
+            target=write, name="live-ingest", daemon=True
+        )
+        writer.start()
+        try:
+            for request in requests:
+                t0 = time.perf_counter()
+                try:
+                    epoch, results = service.run_batch([request])
+                except ServiceOverloadedError:
+                    shed_batches += 1
+                    continue
+                live_latencies.append(time.perf_counter() - t0)
+                samples.append((epoch, request, results[0]))
+        finally:
+            writer.join()
+        if writer_error:
+            return fail(f"ingest writer failed: {writer_error[0]}")
+        final_epoch = service.refresh()
+        _, final_store = builder.snapshot()
+        for request in requests:
+            t0 = time.perf_counter()
+            try:
+                epoch, results = service.run_batch([request], refresh=False)
+            except ServiceOverloadedError:
+                shed_batches += 1
+                continue
+            final_latencies.append(time.perf_counter() - t0)
+            samples.append((epoch, request, results[0]))
+        stats = service.plan_cache_stats()
+        live = service.live_stats()
+
+    ingest_seconds = writer_stats.get("seconds", 0.0)
+    payload = {
+        "status": "ok",
+        "graph": str(graph.statistics()),
+        "mode": "live",
+        "queries": len(queries),
+        "batch_size": args.batch_size,
+        "executor": args.executor,
+        "batches_served": len(samples),
+        "shed_batches": shed_batches,
+        "failed_requests": sum(1 for _, _, r in samples if not r.ok),
+        "final_epoch": final_epoch,
+        "epochs_served": sorted({e for e, _, _ in samples}),
+        "ingest": {
+            "events": builder.events_ingested,
+            "sealed_events": builder.sealed_events,
+            "seconds": ingest_seconds,
+            "events_per_s": (
+                builder.events_ingested / ingest_seconds
+                if ingest_seconds
+                else float("inf")
+            ),
+            "target_rate": args.live_rate,
+        },
+        "latency": {
+            "p50_live_batch_s": (
+                float(np.median(live_latencies)) if live_latencies else None
+            ),
+            "p50_final_epoch_batch_s": (
+                float(np.median(final_latencies)) if final_latencies else None
+            ),
+        },
+        "snapshot_owned_bytes": snapshot_owned_bytes(final_store),
+        "live": {
+            "refreshes": live.refreshes,
+            "epoch_advances": live.epoch_advances,
+            "stale_refreshes": live.stale_refreshes,
+        },
+        "plan_cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "invalidations": stats.invalidations,
+            "resident_bytes": stats.resident_bytes,
+            "bypasses": stats.bypasses,
+            "hit_rate": stats.hit_rate,
+        },
+    }
+    if args.verify_bulk_equivalence:
+        # re-answer every served batch against a bulk-built store of
+        # its pinned epoch's event prefix — the consistency contract
+        oracles = {}
+
+        def oracle(epoch):
+            engine = oracles.get(epoch)
+            if engine is None:
+                end = int(offsets[epoch])
+                prefix = TemporalEdgeStore(
+                    store.num_nodes,
+                    n_steps,
+                    store.src[:end].copy(),
+                    store.dst[:end].copy(),
+                    store.t[:end].copy(),
+                    store.attributes,
+                )
+                engine = GraphQueryEngine(
+                    DynamicAttributedGraph.from_store(prefix)
+                )
+                oracles[epoch] = engine
+            return engine
+
+        checked = 0
+        for epoch, request, result in samples:
+            if not result.ok:
+                continue
+            reference, _ = run_queries_batched(
+                oracle(epoch), request.queries
+            )
+            checked += 1
+            if not np.array_equal(result.cardinalities, reference):
+                return fail(
+                    "bulk-equivalence verification failed: a batch "
+                    f"pinned at epoch {epoch} diverged from the "
+                    "bulk-built store of that epoch's event prefix"
+                )
+        payload["verified_bulk_equivalence"] = True
+        payload["verified_batches"] = checked
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _cmd_bench_queries(args) -> int:
     from repro.workloads import (
         QueryKind,
@@ -346,6 +579,27 @@ def _cmd_bench_queries(args) -> int:
     )
     if args.worker_sweep is not None and args.executor != "process":
         return fail("--worker-sweep requires --executor process")
+    if args.verify_bulk_equivalence and not args.live:
+        return fail("--verify-bulk-equivalence requires --live")
+    if args.live_rate is not None and not args.live:
+        return fail("--live-rate requires --live")
+    if args.live:
+        if args.live_rate is not None and args.live_rate <= 0:
+            return fail("--live-rate must be positive")
+        if args.executor == "process":
+            return fail("--live supports --executor serial or thread")
+        if args.worker_sweep is not None:
+            return fail("--worker-sweep is not supported with --live")
+        if args.verify_single_process:
+            return fail(
+                "--verify-single-process is not supported with --live "
+                "(use --verify-bulk-equivalence)"
+            )
+        if args.compare_per_query:
+            return fail("--compare-per-query is not supported with --live")
+        return _bench_queries_live(
+            args, graph, mix, budget, deadline_seconds, fail
+        )
 
     def make_service(num_workers=None):
         if args.executor == "process":

@@ -21,6 +21,8 @@ Canonically it is stored *columnar*:
   running on the CSR view.
 * :mod:`repro.graph.streams` — continuous-time interaction streams and
   snapshot discretization policies.
+* :mod:`repro.graph.live` — live ingestion with epoch-consistent
+  near-zero-copy snapshots (query while ingesting).
 * :mod:`repro.graph.io` — portable ``.npz`` persistence (columnar).
 * :mod:`repro.graph.formats` — CSV interop (edge streams, event
   streams, attribute tables) for dataset exchange.
@@ -35,7 +37,8 @@ from repro.graph.store import (
 from repro.graph.dynamic import DynamicAttributedGraph
 from repro.graph.temporal import TemporalEdgeList
 from repro.graph.streams import InteractionStream
-from repro.graph import properties, io, store, streams, formats
+from repro.graph.live import LiveStoreBuilder
+from repro.graph import properties, io, live, store, streams, formats
 
 __all__ = [
     "GraphSnapshot",
@@ -44,9 +47,11 @@ __all__ = [
     "TemporalEdgeStoreBuilder",
     "TemporalEdgeList",
     "InteractionStream",
+    "LiveStoreBuilder",
     "track_dense_materializations",
     "properties",
     "io",
+    "live",
     "store",
     "streams",
     "formats",

@@ -132,6 +132,32 @@ def _composite_keys(
     return (t * num_nodes + src) * num_nodes + dst
 
 
+def _canonicalize_step(
+    src: np.ndarray, dst: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical form of one timestep's raw ``(src, dst)`` columns.
+
+    The per-step restriction of :func:`_canonicalize_columns`
+    (loop-drop, ``(src, dst)`` sort, dedup), shared by
+    :class:`TemporalEdgeStoreBuilder` and the live builder
+    (:mod:`repro.graph.live`) — sealing timesteps one at a time and
+    canonicalizing the whole column set at once must be the same
+    function, or epoch snapshots could disagree with bulk builds.
+    """
+    keep = src != dst
+    if not keep.all():
+        src, dst = src[keep], dst[keep]
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if src.size:
+        key = src * num_nodes + dst
+        fresh = np.ones(src.size, dtype=bool)
+        fresh[1:] = key[1:] != key[:-1]
+        if not fresh.all():
+            src, dst = src[fresh], dst[fresh]
+    return src, dst
+
+
 def _canonicalize_columns(
     src: np.ndarray, dst: np.ndarray, t: np.ndarray, num_nodes: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -641,16 +667,7 @@ class TemporalEdgeStoreBuilder:
             raise ValueError(f"column lengths differ: {src.size}/{dst.size}")
         _check_endpoint_range(src, dst, self.num_nodes)
         if not canonical:
-            keep = src != dst
-            if not keep.all():
-                src, dst = src[keep], dst[keep]
-            order = np.lexsort((dst, src))
-            src, dst = src[order], dst[order]
-            if src.size:
-                key = src * self.num_nodes + dst
-                fresh = np.ones(src.size, dtype=bool)
-                fresh[1:] = key[1:] != key[:-1]
-                src, dst = src[fresh], dst[fresh]
+            src, dst = _canonicalize_step(src, dst, self.num_nodes)
         if attributes is None:
             attributes = np.zeros((self.num_nodes, self.num_attributes))
         attributes = np.asarray(attributes, dtype=np.float64)

@@ -34,6 +34,14 @@ memory budget: events accumulate in fixed-size column chunks, each
 full chunk is canonicalized (self-loop drop, sort, dedup) and merged
 into tiered sorted runs with the vectorized merge kernel — the
 transient working set is one chunk, never the whole stream.
+
+Both of the above are *offline*: ingestion completes before the store
+is read.  The online counterpart — accepting events while readers
+take immutable epoch snapshots, the query-while-ingesting shape of
+the live serving tier — is :class:`~repro.graph.live.LiveStoreBuilder`
+in :mod:`repro.graph.live`; its per-timestep sealing shares the
+store's canonicalization kernel, so a finished live stream and an
+:func:`ingest_stream` run over the same events build equal stores.
 """
 
 from __future__ import annotations

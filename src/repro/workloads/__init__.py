@@ -25,6 +25,10 @@ small serving stack (documented in ``docs/workloads.md``):
   synthetic data.
 * :class:`QueryService` — concurrent request-batch serving over one
   shared engine and plan cache (also exported via :mod:`repro.api`).
+* :class:`LiveQueryService` — the same serving contract over a
+  :class:`~repro.graph.live.LiveStoreBuilder` that is still
+  ingesting: each request batch pins one sealed epoch, and results
+  are bit-identical to a bulk-built store of that epoch's events.
 """
 
 from repro.workloads.batch import (
@@ -44,6 +48,11 @@ from repro.workloads.generator import (
     execute_workload,
     serving_mix,
 )
+from repro.workloads.live import (
+    EpochPlanView,
+    LiveQueryService,
+    LiveServiceStats,
+)
 from repro.workloads.service import (
     SERVICE_EXECUTORS,
     QueryRequest,
@@ -53,7 +62,10 @@ from repro.workloads.service import (
 
 __all__ = [
     "BATCHED_KINDS",
+    "EpochPlanView",
     "GraphQueryEngine",
+    "LiveQueryService",
+    "LiveServiceStats",
     "PlanCacheStats",
     "Query",
     "QueryKind",

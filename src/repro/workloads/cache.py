@@ -44,6 +44,15 @@ from repro.reliability import InjectedFault, fault_injector
 
 __all__ = ["PlanCacheStats", "SnapshotPlanCache"]
 
+#: Key heads of per-timestep plans — ``key[1]`` is the timestep.
+#: Extension keys (the live tier's ``("csr", t, "open")`` variants)
+#: share these heads, so :meth:`SnapshotPlanCache.invalidate_step`
+#: covers them too.
+_STEP_PLAN_HEADS = ("csr", "csc", "attr")
+
+#: Key heads of whole-store plans (epoch-qualified in the live tier).
+_STORE_PLAN_HEADS = ("temporal_keys", "pair_keys")
+
 
 @dataclass(frozen=True)
 class PlanCacheStats:
@@ -54,7 +63,17 @@ class PlanCacheStats:
     ``resident_plans`` / ``resident_bytes`` describe what is cached
     *now* (owned bytes only — zero-copy column views are free);
     ``bypasses`` counts lookups that degraded around a cache fault
-    (plan built directly, never inserted — results unchanged).
+    (plan built directly, never inserted — results unchanged);
+    ``invalidations`` counts plans dropped through
+    :meth:`SnapshotPlanCache.invalidate_step` /
+    :meth:`~SnapshotPlanCache.invalidate_store_plans` (the live tier
+    fires these as timesteps seal).
+
+    Every resident plan entered via a miss and leaves via eviction,
+    invalidation or ``clear`` (counted as evictions), so in
+    single-threaded use ``resident_plans == misses - evictions -
+    invalidations``; concurrent lookups can lose a build race (a miss
+    that inserts nothing), relaxing the identity to ``<=``.
     """
 
     hits: int
@@ -63,6 +82,7 @@ class PlanCacheStats:
     resident_plans: int
     resident_bytes: int
     bypasses: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -117,6 +137,7 @@ class SnapshotPlanCache:
         self._misses = 0
         self._evictions = 0
         self._bypasses = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -173,6 +194,69 @@ class SnapshotPlanCache:
             _, (_, owned) = self._plans.popitem(last=False)
             self._bytes -= owned
             self._evictions += 1
+
+    def get_or_build(
+        self, key: Tuple, build: Callable[[], Tuple[object, int]]
+    ):
+        """Extension point: cache an arbitrary-keyed plan.
+
+        ``build`` returns ``(plan, owned_bytes)`` (use
+        :meth:`_owned_nbytes`) and runs outside the lock; the lookup
+        gets the same LRU/budget/fault-bypass semantics as the
+        built-in plans.  Used by the live tier's epoch plan views to
+        key open-step and per-epoch whole-store plans
+        (:mod:`repro.workloads.live`); custom keys should reuse the
+        built-in key heads (``"csr"``, ``"temporal_keys"``, ...) so
+        the invalidation APIs cover them.
+        """
+        return self._get_or_build(key, build)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def _invalidate_locked(self, doomed) -> int:
+        for key in doomed:
+            _, owned = self._plans.pop(key)
+            self._bytes -= owned
+        self._invalidations += len(doomed)
+        return len(doomed)
+
+    def invalidate_step(self, t: int) -> int:
+        """Drop every resident per-timestep plan of timestep ``t``.
+
+        Covers the built-in ``("csr", t)`` / ``("csc", t)`` /
+        ``("attr", t, dim)`` keys and any extension key sharing those
+        heads (the live tier's open-step variants).  Returns the
+        number of plans dropped.  Like eviction, invalidation never
+        changes results — the next lookup rebuilds from the store
+        columns — and the owned-bytes account shrinks with each drop,
+        so the budget is never exceeded mid-invalidation.  The live
+        tier calls this for each timestep as it seals
+        (:class:`~repro.workloads.live.LiveQueryService`).
+        """
+        with self._lock:
+            return self._invalidate_locked(
+                [
+                    key
+                    for key in self._plans
+                    if key[0] in _STEP_PLAN_HEADS
+                    and len(key) >= 2
+                    and key[1] == t
+                ]
+            )
+
+    def invalidate_store_plans(self) -> int:
+        """Drop every resident whole-store plan (edge-key columns).
+
+        The ``("temporal_keys", ...)`` / ``("pair_keys", ...)`` plans
+        span the entire store, so any structural change (a newly
+        sealed timestep) stales them all at once — per-timestep plans
+        are untouched.  Returns the number of plans dropped.
+        """
+        with self._lock:
+            return self._invalidate_locked(
+                [key for key in self._plans if key[0] in _STORE_PLAN_HEADS]
+            )
 
     @staticmethod
     def _owned_nbytes(*arrays: np.ndarray) -> int:
@@ -262,6 +346,7 @@ class SnapshotPlanCache:
                 resident_plans=len(self._plans),
                 resident_bytes=self._bytes,
                 bypasses=self._bypasses,
+                invalidations=self._invalidations,
             )
 
     def clear(self) -> None:

@@ -65,8 +65,12 @@ class GraphQueryEngine:
         derive from its canonical columnar store.
     plan_cache:
         An existing :class:`SnapshotPlanCache` to share (e.g. one
-        cache across several engines over the same store).  Must wrap
-        ``graph.store``.
+        cache across several engines over the same store), or any
+        object speaking the same plan protocol (``store`` attribute
+        plus ``csr`` / ``csc`` / ``attribute_order`` /
+        ``temporal_keys`` / ``pair_keys`` / ``stats`` — the live
+        tier's :class:`~repro.workloads.live.EpochPlanView` pins one
+        epoch this way).  Must wrap ``graph.store``.
     cache_memory_budget_bytes / cache_max_plans:
         Sizing for the engine's own plan cache when ``plan_cache`` is
         not given; ``None`` means unbounded.  See

@@ -215,15 +215,18 @@ class QueryService:
         return max(os.cpu_count() or 1, 1)
 
     def _run_once(
-        self, request: QueryRequest
+        self,
+        request: QueryRequest,
+        engine: Optional[GraphQueryEngine] = None,
     ) -> Tuple[np.ndarray, Dict[str, float], FrozenSet[str]]:
+        engine = engine if engine is not None else self.engine
         if self.batched:
-            return run_queries_resilient(self.engine, request.queries)
+            return run_queries_resilient(engine, request.queries)
         cards = np.zeros(len(request.queries), dtype=np.int64)
         by_kind: Dict[str, float] = {}
         for i, q in enumerate(request.queries):
             q0 = perf_counter()
-            cards[i] = _run_query(self.engine, q)
+            cards[i] = _run_query(engine, q)
             by_kind[q.kind.value] = by_kind.get(q.kind.value, 0.0) + (
                 perf_counter() - q0
             )
@@ -234,6 +237,7 @@ class QueryService:
         request: QueryRequest,
         index: int = 0,
         deadline: Optional[Deadline] = None,
+        engine: Optional[GraphQueryEngine] = None,
     ) -> QueryResult:
         """Execute one request; failures become result values."""
         start = perf_counter()
@@ -247,7 +251,7 @@ class QueryService:
             fault_injector.fire(
                 "query.request", key=(index, attempt_counter)
             )
-            return self._run_once(request)
+            return self._run_once(request, engine)
 
         try:
             if self.retry_policy is not None:
@@ -294,13 +298,17 @@ class QueryService:
             error=failure,
         )
 
-    def _map(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
+    def _map(
+        self,
+        requests: Sequence[QueryRequest],
+        engine: Optional[GraphQueryEngine] = None,
+    ) -> List[QueryResult]:
         deadlines = [
             Deadline.after(self.deadline_seconds) for _ in requests
         ]
         if self.executor == "serial":
             return [
-                self._execute_request(request, i, deadline)
+                self._execute_request(request, i, deadline, engine)
                 for i, (request, deadline) in enumerate(
                     zip(requests, deadlines)
                 )
@@ -319,7 +327,9 @@ class QueryService:
         from concurrent.futures import TimeoutError as FuturesTimeout
 
         futures = [
-            self._pool.submit(self._execute_request, request, i, deadline)
+            self._pool.submit(
+                self._execute_request, request, i, deadline, engine
+            )
             for i, (request, deadline) in enumerate(zip(requests, deadlines))
         ]
         results: List[QueryResult] = []
@@ -340,7 +350,10 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def run_batch(
-        self, requests: Sequence[QueryRequest]
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        engine: Optional[GraphQueryEngine] = None,
     ) -> List[QueryResult]:
         """Execute every request; results are in request order.
 
@@ -350,6 +363,13 @@ class QueryService:
         raised here is
         :class:`~repro.reliability.ServiceOverloadedError` when the
         batch would exceed ``max_pending``.
+
+        ``engine`` overrides the service's engine for this batch only
+        — the live tier's pinned-epoch hook
+        (:class:`~repro.workloads.live.LiveQueryService` answers each
+        batch against one epoch snapshot while the underlying store
+        keeps ingesting).  Deadlines, retries and admission are
+        unaffected by the override.
         """
         requests = list(requests)
         if not requests:
@@ -358,7 +378,7 @@ class QueryService:
         t0 = perf_counter()
         try:
             with profiler.timer("workloads.service.run_batch"):
-                return self._map(requests)
+                return self._map(requests, engine)
         finally:
             self._admission.release(
                 len(requests), seconds=perf_counter() - t0

@@ -1,0 +1,326 @@
+"""Epoch-consistency harness for live ingestion (``repro.graph.live``).
+
+The invariant this file pins (and ``docs/workloads.md`` documents):
+**every query at epoch E is bit-identical to the same query against a
+bulk-built store of E's sealed event prefix**, across all five batched
+kernels and the per-query fallbacks, no matter how appends, seals and
+snapshots interleave.
+
+Randomized streams follow the repo's chaos convention: the schedule is
+a pure function of ``REPRO_CHAOS_SEED`` (default 0), so a CI failure
+reproduces locally with the same seed.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.dynamic import DynamicAttributedGraph
+from repro.graph.live import LiveStoreBuilder, snapshot_owned_bytes
+from repro.graph.store import TemporalEdgeStore
+from repro.graph.streams import ingest_stream
+from repro.reliability import FaultPlan, InjectedFault, fault_injector
+from repro.workloads import GraphQueryEngine
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+N, T = 40, 6
+
+
+def random_events(rng, m, n=N, t_len=T):
+    """Raw event columns with loops and duplicates (canonicalization food)."""
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    t = rng.integers(0, t_len, size=m)
+    dups = rng.integers(0, m, size=m // 4)  # force duplicate events
+    return (
+        np.concatenate([src, src[dups]]),
+        np.concatenate([dst, dst[dups]]),
+        np.concatenate([t, t[dups]]),
+    )
+
+
+def bulk_prefix(src, dst, t, epoch, attrs=None, n=N, t_len=T):
+    """Bulk-built store of the events with ``t < epoch`` — the oracle."""
+    keep = t < epoch
+    return TemporalEdgeStore(n, t_len, src[keep], dst[keep], t[keep], attrs)
+
+
+def feed_interleaved(builder, src, dst, t, rng):
+    """Append the stream in random chunks, never ahead of the seal front.
+
+    Yields ``(epoch, snapshot)`` after every seal so callers can check
+    each epoch as it is born.  Events for already-sealed steps are
+    withheld (not late) — the stream is replayed in seal order, but
+    chunk sizes, intra-step order and snapshot timing are randomized.
+    """
+    order = np.argsort(t, kind="stable")
+    src, dst, t = src[order], dst[order], t[order]
+    bounds = np.searchsorted(t, np.arange(T + 1))
+    cursors = bounds[:-1].copy()
+    while builder.epoch < T:
+        step = builder.epoch
+        # drain this step's remaining events in 1..3 random chunks
+        while cursors[step] < bounds[step + 1]:
+            hi = int(
+                rng.integers(cursors[step] + 1, bounds[step + 1] + 1)
+            )
+            sel = slice(int(cursors[step]), hi)
+            perm = rng.permutation(hi - int(cursors[step]))
+            builder.extend(src[sel][perm], dst[sel][perm], t[sel][perm])
+            cursors[step] = hi
+            if rng.random() < 0.3:
+                builder.snapshot()  # mid-step snapshot: must be stable
+        epoch = builder.seal_step()
+        yield epoch, builder.snapshot()
+
+
+class TestEpochConsistency:
+    def test_every_epoch_matches_bulk_prefix_store(self):
+        rng = np.random.default_rng(CHAOS_SEED)
+        src, dst, t = random_events(rng, 400)
+        builder = LiveStoreBuilder(N, T)
+        seen = 0
+        for epoch, (snap_epoch, snap) in feed_interleaved(
+            builder, src, dst, t, rng
+        ):
+            assert snap_epoch == epoch
+            assert snap == bulk_prefix(src, dst, t, epoch)
+            assert snapshot_owned_bytes(snap) == 0
+            seen += 1
+        assert seen == T
+
+    def test_batched_kernels_bit_identical_per_epoch(self):
+        rng = np.random.default_rng(CHAOS_SEED + 1)
+        src, dst, t = random_events(rng, 300)
+        attrs = rng.normal(size=(T, N, 2))
+        builder = LiveStoreBuilder(N, T, attributes=attrs)
+        q = 64
+        nodes = rng.integers(0, N, size=q)
+        qsrc = rng.integers(0, N, size=q)
+        qdst = rng.integers(0, N, size=q)
+        qts = rng.integers(0, T, size=q)
+        qt0 = rng.integers(0, T, size=q)
+        qt1 = qt0 + rng.integers(0, T - qt0)
+        dims = rng.integers(0, 2, size=q)
+        lo = rng.normal(size=q) - 0.5
+        hi = lo + rng.random(size=q) * 2
+        for epoch, (_, snap) in feed_interleaved(builder, src, dst, t, rng):
+            live = GraphQueryEngine(DynamicAttributedGraph.from_store(snap))
+            oracle = GraphQueryEngine(
+                DynamicAttributedGraph.from_store(
+                    bulk_prefix(src, dst, t, epoch, attrs)
+                )
+            )
+            for direction in ("out", "in", "total"):
+                assert np.array_equal(
+                    live.batch_degrees(nodes, qts, direction),
+                    oracle.batch_degrees(nodes, qts, direction),
+                )
+            for direction in ("out", "in"):
+                got = live.batch_neighbors(nodes, qts, direction)
+                want = oracle.batch_neighbors(nodes, qts, direction)
+                assert np.array_equal(got[0], want[0])
+                assert np.array_equal(got[1], want[1])
+            assert np.array_equal(
+                live.batch_has_edge(qsrc, qdst, qts),
+                oracle.batch_has_edge(qsrc, qdst, qts),
+            )
+            assert np.array_equal(
+                live.batch_edge_window_counts(qsrc, qdst, qt0, qt1),
+                oracle.batch_edge_window_counts(qsrc, qdst, qt0, qt1),
+            )
+            assert np.array_equal(
+                live.batch_attribute_range_counts(qts, dims, lo, hi),
+                oracle.batch_attribute_range_counts(qts, dims, lo, hi),
+            )
+
+    def test_per_query_fallbacks_bit_identical_per_epoch(self):
+        rng = np.random.default_rng(CHAOS_SEED + 2)
+        src, dst, t = random_events(rng, 250)
+        attrs = rng.normal(size=(T, N, 1))
+        builder = LiveStoreBuilder(N, T, attributes=attrs)
+        for epoch, (_, snap) in feed_interleaved(builder, src, dst, t, rng):
+            live = GraphQueryEngine(DynamicAttributedGraph.from_store(snap))
+            oracle = GraphQueryEngine(
+                DynamicAttributedGraph.from_store(
+                    bulk_prefix(src, dst, t, epoch, attrs)
+                )
+            )
+            for _ in range(10):
+                v = int(rng.integers(0, N))
+                u = int(rng.integers(0, N))
+                ts = int(rng.integers(0, T))
+                t0 = int(rng.integers(0, T))
+                t1 = int(rng.integers(t0, T))
+                assert live.out_neighbors(v, ts) == oracle.out_neighbors(v, ts)
+                assert live.in_neighbors(v, ts) == oracle.in_neighbors(v, ts)
+                assert live.has_edge(u, v, ts) == oracle.has_edge(u, v, ts)
+                assert live.k_hop(v, ts, 2) == oracle.k_hop(v, ts, 2)
+                assert live.triangle_count(ts) == oracle.triangle_count(ts)
+                assert live.degree_topk(ts, 5) == oracle.degree_topk(ts, 5)
+                assert live.temporal_reachable(u, v, t0, t1) == (
+                    oracle.temporal_reachable(u, v, t0, t1)
+                )
+                assert live.edge_window_count(u, v, t0, t1) == (
+                    oracle.edge_window_count(u, v, t0, t1)
+                )
+                assert live.attribute_range(ts, 0, -0.5, 0.5) == (
+                    oracle.attribute_range(ts, 0, -0.5, 0.5)
+                )
+
+    def test_unsealed_timesteps_are_visible_but_empty(self):
+        builder = LiveStoreBuilder(N, T)
+        builder.add(1, 2, 0)
+        builder.add(3, 4, 3)
+        builder.seal_step()
+        epoch, snap = builder.snapshot()
+        assert epoch == 1
+        engine = GraphQueryEngine(DynamicAttributedGraph.from_store(snap))
+        assert engine.out_neighbors(1, 0) == [2]
+        # t=3 has a buffered event, invisible until sealed
+        assert engine.out_neighbors(3, 3) == []
+        assert not engine.has_edge(3, 4, 3)
+
+
+class TestSnapshotMechanics:
+    def test_epochs_are_monotone_and_snapshots_cached(self):
+        rng = np.random.default_rng(CHAOS_SEED + 3)
+        src, dst, t = random_events(rng, 120)
+        builder = LiveStoreBuilder(N, T)
+        last = builder.epoch
+        assert last == 0
+        for epoch, _ in feed_interleaved(builder, src, dst, t, rng):
+            assert epoch == last + 1
+            # same-epoch snapshots return the identical store object
+            assert builder.snapshot()[1] is builder.snapshot()[1]
+            last = epoch
+
+    def test_snapshot_survives_capacity_growth(self):
+        builder = LiveStoreBuilder(N, T, initial_capacity=16)
+        rng = np.random.default_rng(CHAOS_SEED + 4)
+        src, dst, t = random_events(rng, 30)
+        t = np.zeros_like(t)
+        builder.extend(src, dst, t)
+        builder.seal_step()
+        _, early = builder.snapshot()
+        frozen = early.src.copy(), early.dst.copy(), early.t.copy()
+        # force several reallocations past the early snapshot's view
+        big = np.arange(2000) % N
+        builder.extend(big, (big + 1) % N, np.full(big.size, 2))
+        builder.seal_step()
+        builder.seal_step()
+        assert np.array_equal(early.src, frozen[0])
+        assert np.array_equal(early.dst, frozen[1])
+        assert np.array_equal(early.t, frozen[2])
+
+    def test_freeze_equals_bulk_and_streaming_ingest(self):
+        rng = np.random.default_rng(CHAOS_SEED + 5)
+        src, dst, t = random_events(rng, 200)
+        builder = LiveStoreBuilder(N, T)
+        for _ in feed_interleaved(builder, src, dst, t, rng):
+            pass
+        final = builder.freeze()
+        assert final == TemporalEdgeStore(N, T, src, dst, t)
+        assert final == ingest_stream((src, dst, t), N, T, chunk_events=64)
+
+    def test_freeze_seals_remaining_steps(self):
+        builder = LiveStoreBuilder(N, T)
+        builder.add(0, 1, 4)
+        final = builder.freeze()
+        assert builder.epoch == T
+        assert final.num_edges == 1
+
+
+class TestLatePolicy:
+    def test_error_policy_raises_and_preserves_builder(self):
+        builder = LiveStoreBuilder(N, T)
+        builder.add(1, 2, 0)
+        builder.seal_step()
+        with pytest.raises(ValueError, match="sealed"):
+            builder.add(3, 4, 0)
+        assert builder.events_ingested == 1
+        assert builder.snapshot()[1].num_edges == 1
+
+    def test_drop_policy_counts_and_filters(self):
+        builder = LiveStoreBuilder(N, T, late_policy="drop")
+        builder.add(1, 2, 0)
+        builder.seal_step()
+        accepted = builder.extend(
+            np.array([3, 5]), np.array([4, 6]), np.array([0, 1])
+        )
+        assert accepted == 1  # the t=0 event is late, the t=1 one lands
+        assert builder.late_events == 1
+        builder.seal_step()
+        assert builder.snapshot()[1].num_edges == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="late_policy"):
+            LiveStoreBuilder(N, T, late_policy="ignore")
+
+
+class TestSealFaultAtomicity:
+    def test_faulted_seal_leaves_builder_unchanged_and_retryable(self):
+        rng = np.random.default_rng(CHAOS_SEED + 6)
+        src, dst, t = random_events(rng, 150)
+        builder = LiveStoreBuilder(N, T)
+        order = np.argsort(t, kind="stable")
+        builder.extend(src[order], dst[order], t[order])
+        plans = {
+            "live.advance_epoch": FaultPlan(rate=1.0, max_triggers=2)
+        }
+        with fault_injector.arm(plans, seed=CHAOS_SEED):
+            before = builder.snapshot()
+            pending = builder.pending_events
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    builder.seal_step()
+                assert builder.epoch == 0
+                assert builder.pending_events == pending
+                assert builder.snapshot() == before
+            # triggers exhausted: the retry succeeds and the result is
+            # exactly what an unfaulted seal would have produced
+            assert builder.seal_step() == 1
+        assert builder.snapshot()[1] == bulk_prefix(src, dst, t, 1)
+
+    def test_snapshot_fault_propagates_but_builder_survives(self):
+        builder = LiveStoreBuilder(N, T)
+        builder.add(1, 2, 0)
+        builder.seal_step()
+        plans = {"live.snapshot": FaultPlan(rate=1.0, max_triggers=1)}
+        with fault_injector.arm(plans, seed=CHAOS_SEED):
+            with pytest.raises(InjectedFault):
+                builder.snapshot()
+            epoch, snap = builder.snapshot()
+        assert epoch == 1 and snap.num_edges == 1
+
+
+class TestValidation:
+    def test_out_of_range_events_rejected(self):
+        builder = LiveStoreBuilder(N, T)
+        with pytest.raises(ValueError):
+            builder.add(N, 0, 0)
+        with pytest.raises(ValueError):
+            builder.add(0, 1, T)
+        with pytest.raises(ValueError):
+            builder.extend(
+                np.array([1, 2]), np.array([3]), np.array([0, 0])
+            )
+        assert builder.events_ingested == 0
+
+    def test_attribute_block_validated(self):
+        with pytest.raises(ValueError, match="attributes"):
+            LiveStoreBuilder(N, T, attributes=np.zeros((T, N + 1, 2)))
+        bad = np.zeros((T, N, 1))
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            LiveStoreBuilder(N, T, attributes=bad)
+
+    def test_empty_extend_is_a_noop(self):
+        builder = LiveStoreBuilder(N, T)
+        assert builder.extend(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        ) == 0

@@ -156,6 +156,123 @@ class TestLRU:
         assert "plans=1" in text and "budget=" in text
 
 
+class TestInvalidation:
+    """invalidate_step / invalidate_store_plans: the live tier's hooks."""
+
+    def test_invalidate_step_drops_only_that_timestep(self, store):
+        cache = SnapshotPlanCache(store)
+        for t in range(3):
+            cache.csr(t)
+            cache.csc(t)
+            cache.attribute_order(t, 0)
+        dropped = cache.invalidate_step(1)
+        assert dropped == 3  # csr + csc + attr for t=1
+        stats = cache.stats()
+        assert stats.invalidations == 3
+        assert stats.resident_plans == 6
+        # t=0 and t=2 plans are still hits; t=1 rebuilds as misses
+        cache.csr(0)
+        cache.csr(2)
+        assert cache.stats().hits == 2
+        cache.csr(1)
+        assert cache.stats().misses == 10
+
+    def test_invalidate_step_keys_extension_variants(self, store):
+        # the live tier's open-step keys share the head and timestep
+        cache = SnapshotPlanCache(store)
+
+        def build():
+            indptr, indices = store.compute_csr_at(2)
+            return (indptr, indices), indptr.nbytes
+
+        cache.get_or_build(("csr", 2, "open"), build)
+        cache.csr(2)
+        assert cache.invalidate_step(2) == 2
+        assert cache.stats().resident_plans == 0
+
+    def test_invalidate_store_plans_spares_step_plans(self, store):
+        cache = SnapshotPlanCache(store)
+        cache.temporal_keys()
+        cache.pair_keys()
+        cache.csr(0)
+        assert cache.invalidate_store_plans() == 2
+        stats = cache.stats()
+        assert stats.invalidations == 2
+        assert stats.resident_plans == 1
+        cache.csr(0)
+        assert cache.stats().hits == 1
+
+    def test_owned_bytes_accounting_exact(self, store):
+        cache = SnapshotPlanCache(store)
+        cache.csc(0)
+        cache.csc(1)
+        cache.temporal_keys()
+        before = cache.stats().resident_bytes
+        assert before > 0
+        cache.invalidate_step(0)
+        cache.invalidate_store_plans()
+        after = cache.stats().resident_bytes
+        # what remains is exactly the csc(1) plan's owned bytes
+        cache.clear()
+        cache.csc(1)
+        assert after == cache.stats().resident_bytes
+
+    def test_invalidation_never_changes_results(self, store):
+        cache = SnapshotPlanCache(store)
+        pristine = SnapshotPlanCache(store)
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            t = int(rng.integers(0, store.num_timesteps))
+            roll = rng.random()
+            if roll < 0.2:
+                cache.invalidate_step(t)
+            elif roll < 0.3:
+                cache.invalidate_store_plans()
+            a, b = cache.csc(t), pristine.csc(t)
+            assert np.array_equal(a[0], b[0])
+            assert np.array_equal(a[1], b[1])
+            assert np.array_equal(cache.temporal_keys(),
+                                  pristine.temporal_keys())
+        assert cache.stats().invalidations > 0
+
+    def test_budget_never_exceeded_mid_invalidation(self, store):
+        budget = 4096
+        cache = SnapshotPlanCache(store, memory_budget_bytes=budget)
+        rng = np.random.default_rng(11)
+        for _ in range(80):
+            t = int(rng.integers(0, store.num_timesteps))
+            cache.csc(t)
+            if rng.random() < 0.3:
+                cache.invalidate_step(int(rng.integers(0,
+                                                       store.num_timesteps)))
+            stats = cache.stats()
+            if stats.resident_plans > 1:
+                assert stats.resident_bytes <= budget
+            assert stats.resident_bytes >= 0
+
+    def test_invalidating_absent_keys_is_a_noop(self, store):
+        cache = SnapshotPlanCache(store)
+        assert cache.invalidate_step(0) == 0
+        assert cache.invalidate_store_plans() == 0
+        stats = cache.stats()
+        assert stats.invalidations == 0
+
+    def test_reconciliation_identity_with_invalidations(self, store):
+        cache = SnapshotPlanCache(store, max_plans=4)
+        rng = np.random.default_rng(13)
+        for _ in range(100):
+            t = int(rng.integers(0, store.num_timesteps))
+            cache.csr(t)
+            cache.csc(t)
+            if rng.random() < 0.25:
+                cache.invalidate_step(t)
+        stats = cache.stats()
+        assert stats.evictions > 0 and stats.invalidations > 0
+        assert stats.resident_plans == (
+            stats.misses - stats.evictions - stats.invalidations
+        )
+
+
 class TestThreadSafety:
     def test_concurrent_lookups_consistent(self, store):
         cache = SnapshotPlanCache(store, memory_budget_bytes=4096)
