@@ -1,0 +1,91 @@
+"""Training on the flat-tape autodiff engine: tape vs legacy parity,
+``gradcheck``, and the per-op profiler timers.
+
+The tape engine (``repro.autodiff.Tape``) is the default training fast
+path; the legacy closure engine stays available as the reference twin.
+This example fits the same VRDAG twice — once per engine — checks the
+loss curves agree, pins a module gradient against finite differences,
+and prints the tape's per-op timing report.
+
+Run:  python examples/tape_training.py [--tiny]
+"""
+
+import numpy as np
+
+from repro.autodiff import Tape, Tensor, gradcheck
+from repro.core import TrainConfig, VRDAG, VRDAGConfig, VRDAGTrainer
+from repro.datasets import load_dataset
+from repro.nn import GRUCell
+from repro.profiling import profiler
+
+
+def main(tiny: bool = False) -> None:
+    scale, epochs = (0.012, 2) if tiny else (0.03, 10)
+    graph = load_dataset("email", scale=scale, seed=0)
+    print(f"training twin: {graph}")
+
+    # 1. Same model, same seed, both engines: near-identical losses.
+    results = {}
+    for engine in ("tape", "legacy"):
+        cfg = VRDAGConfig(
+            num_nodes=graph.num_nodes,
+            num_attributes=graph.num_attributes,
+            hidden_dim=16, latent_dim=8, encode_dim=16,
+            mixture_components=2, seed=7,
+        )
+        trainer = VRDAGTrainer(
+            VRDAG(cfg), TrainConfig(epochs=epochs, engine=engine)
+        )
+        results[engine] = trainer.fit(graph)
+        print(
+            f"  {engine:>6s}: loss {results[engine].loss_history[0]:.4f}"
+            f" -> {results[engine].final_loss:.4f}"
+        )
+    assert np.isclose(
+        results["tape"].final_loss, results["legacy"].final_loss, rtol=1e-6
+    ), "engines diverged"
+    print("engines agree on the loss curve")
+
+    # 2. gradcheck pins either engine against finite differences.
+    rng = np.random.default_rng(3)
+    gru = GRUCell(4, 6, rng=rng)
+    x, h = rng.normal(size=(5, 4)), rng.normal(size=(5, 6))
+
+    def legacy_loss():
+        return (gru(Tensor(x), Tensor(h)) ** 2).mean()
+
+    def tape_loss():
+        with Tape():
+            return legacy_loss()
+
+    assert gradcheck(legacy_loss, gru.parameters(), max_entries=8)
+    assert gradcheck(tape_loss, gru.parameters(), max_entries=8)
+    print("gradcheck OK on both engines (GRU cell vs finite differences)")
+
+    # 3. The profiler breaks an epoch down per tape op: tape.op.* is
+    #    the forward record, tape.vjp.* the backward kernel.
+    profiler.reset()
+    with profiler.enable():
+        with Tape():
+            loss = legacy_loss()
+            loss.backward()
+    report = profiler.report()
+    tape_lines = [
+        line for line in report.splitlines()
+        if "tape.op." in line or "tape.vjp." in line
+    ]
+    print("per-op tape timers for one GRU forward/backward:")
+    for line in tape_lines:
+        print(f"  {line.strip()}")
+    profiler.reset()
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test settings: seconds instead of minutes",
+    )
+    main(tiny=parser.parse_args().tiny)

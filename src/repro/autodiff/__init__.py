@@ -1,24 +1,52 @@
 """Reverse-mode automatic differentiation on numpy arrays.
 
 This subpackage is the substrate that replaces PyTorch for the VRDAG
-reproduction.  It provides a :class:`Tensor` wrapping a ``numpy.ndarray``
-together with a dynamic tape: every differentiable operation records the
-local vector-Jacobian products needed to backpropagate, and
-:meth:`Tensor.backward` walks the tape in reverse topological order.
+reproduction.  Two engines share one functional surface:
+
+* the **flat-tape engine** (:class:`Tape` / :class:`Variable`,
+  ``ops.py`` / ``fused.py``) — the training fast path.  Ops append
+  flat ``(op, input_ids, impl_kwargs)`` records to the active tape;
+  ``backward`` is a single reverse loop calling registered VJP
+  kernels, with whole encoder/decoder motifs fused into single
+  records;
+* the **legacy closure engine** (:class:`Tensor`, ``tensor.py``) —
+  kept alive as the reference twin.  Every op builds per-Tensor
+  backward closures; the gradient-parity suite pins the tape engine
+  against it (and both against finite differences via
+  :func:`gradcheck`).
+
+Modules in :mod:`repro.nn` route onto whichever engine is active:
+inside a ``with Tape():`` block (with grads enabled) they record tape
+ops; otherwise they build the closure graph.  Both grad mode and the
+active-tape stack are thread-local.
 
 Example
 -------
 >>> import numpy as np
->>> from repro.autodiff import Tensor
+>>> from repro.autodiff import Tensor, Tape
 >>> x = Tensor(np.ones((2, 2)), requires_grad=True)
->>> y = (x * 3.0 + 1.0).sum()
->>> y.backward()
+>>> with Tape() as tape:
+...     y = (tape.lift(x) * 3.0 + 1.0).sum()
+...     y.backward()
 >>> x.grad
 array([[3., 3.],
        [3., 3.]])
 """
 
 from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff.tape import Tape, Variable, active_tape, tape_for
+from repro.autodiff.gradcheck import gradcheck
+from repro.autodiff import fused  # noqa: F401  (registers the fused ops)
 from repro.autodiff import functional
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Tape",
+    "Variable",
+    "active_tape",
+    "tape_for",
+    "gradcheck",
+    "functional",
+]

@@ -1,9 +1,17 @@
 """Functional (free-function) differentiable operations.
 
-These complement the operator methods on :class:`~repro.autodiff.Tensor`:
-nonlinearities, stable softmax / log-sum-exp, concatenation, stacking and
-the numerically careful primitives the VRDAG losses need (clipped log,
-sigmoid in the stable regime, etc.).
+These complement the operator methods on :class:`~repro.autodiff.Tensor`
+and :class:`~repro.autodiff.tape.Variable`: nonlinearities, stable
+softmax / log-sum-exp, concatenation, stacking and the numerically
+careful primitives the VRDAG losses need (clipped log, sigmoid in the
+stable regime, etc.).
+
+Every function is engine-polymorphic: if an argument is a tape
+Variable — or a :class:`~repro.autodiff.tape.Tape` is active with grads
+enabled — the op is recorded on the tape via the registered kernel in
+:mod:`repro.autodiff.ops`; otherwise it builds the legacy closure
+graph.  Both paths compute identical values (the kernels share the
+exact same NumPy expressions).
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from repro.autodiff.tensor import Tensor, as_tensor, unbroadcast
+from repro.autodiff.tape import Variable, tape_for
 
 __all__ = [
     "exp",
@@ -41,6 +50,9 @@ __all__ = [
 
 def exp(x: Tensor) -> Tensor:
     """Elementwise ``e**x``."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("exp", (x,))
     x = as_tensor(x)
     data = np.exp(x.data)
     return Tensor._from_op(data, (x,), (lambda g: g * data,), "exp")
@@ -48,6 +60,9 @@ def exp(x: Tensor) -> Tensor:
 
 def log(x: Tensor, eps: float = 0.0) -> Tensor:
     """Natural log; pass ``eps`` to clamp the argument away from zero."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("log", (x,), eps=eps)
     x = as_tensor(x)
     arg = x.data + eps if eps else x.data
     data = np.log(arg)
@@ -56,6 +71,9 @@ def log(x: Tensor, eps: float = 0.0) -> Tensor:
 
 def sqrt(x: Tensor) -> Tensor:
     """Elementwise square root."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("sqrt", (x,))
     x = as_tensor(x)
     data = np.sqrt(x.data)
     return Tensor._from_op(data, (x,), (lambda g: g * 0.5 / data,), "sqrt")
@@ -63,6 +81,9 @@ def sqrt(x: Tensor) -> Tensor:
 
 def abs_(x: Tensor) -> Tensor:
     """Elementwise absolute value (subgradient 0 at 0)."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("abs", (x,))
     x = as_tensor(x)
     data = np.abs(x.data)
     return Tensor._from_op(data, (x,), (lambda g: g * np.sign(x.data),), "abs")
@@ -70,6 +91,9 @@ def abs_(x: Tensor) -> Tensor:
 
 def sigmoid(x: Tensor) -> Tensor:
     """Elementwise logistic sigmoid ``1 / (1 + e**-x)``."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("sigmoid", (x,))
     x = as_tensor(x)
     # numerically stable piecewise computation
     data = np.where(
@@ -82,6 +106,9 @@ def sigmoid(x: Tensor) -> Tensor:
 
 def tanh(x: Tensor) -> Tensor:
     """Elementwise hyperbolic tangent."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("tanh", (x,))
     x = as_tensor(x)
     data = np.tanh(x.data)
     return Tensor._from_op(data, (x,), (lambda g: g * (1.0 - data**2),), "tanh")
@@ -89,6 +116,9 @@ def tanh(x: Tensor) -> Tensor:
 
 def relu(x: Tensor) -> Tensor:
     """Elementwise ``max(x, 0)``."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("relu", (x,))
     x = as_tensor(x)
     data = np.maximum(x.data, 0.0)
     mask = (x.data > 0).astype(np.float64)
@@ -97,6 +127,9 @@ def relu(x: Tensor) -> Tensor:
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
     """Elementwise LeakyReLU: ``x`` if positive else ``slope * x``."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("leaky_relu", (x,), negative_slope=negative_slope)
     x = as_tensor(x)
     mask = np.where(x.data > 0, 1.0, negative_slope)
     data = x.data * mask
@@ -105,6 +138,9 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
 
 def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     """Elementwise ELU: ``x`` if positive else ``alpha * (e**x - 1)``."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("elu", (x,), alpha=alpha)
     x = as_tensor(x)
     neg = alpha * (np.exp(np.clip(x.data, None, 0)) - 1.0)
     data = np.where(x.data > 0, x.data, neg)
@@ -114,6 +150,9 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
 
 def softplus(x: Tensor) -> Tensor:
     """Elementwise ``log(1 + e**x)`` (numerically stabilized)."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("softplus", (x,))
     x = as_tensor(x)
     data = np.logaddexp(0.0, x.data)
     sig = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60)))
@@ -122,6 +161,9 @@ def softplus(x: Tensor) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` (shift-stabilized)."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("softmax", (x,), axis=axis)
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
@@ -136,6 +178,9 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis`` (shift-stabilized)."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("log_softmax", (x,), axis=axis)
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
@@ -150,6 +195,9 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     """``log(sum(e**x))`` along ``axis`` (shift-stabilized)."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("logsumexp", (x,), axis=axis, keepdims=keepdims)
     x = as_tensor(x)
     m = x.data.max(axis=axis, keepdims=True)
     e = np.exp(x.data - m)
@@ -170,6 +218,9 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 
 def clip(x: Tensor, lo: float, hi: float) -> Tensor:
     """Elementwise clamp to ``[lo, hi]``; gradient is 1 inside, 0 outside."""
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("clip", (x,), lo=lo, hi=hi)
     x = as_tensor(x)
     data = np.clip(x.data, lo, hi)
     mask = ((x.data >= lo) & (x.data <= hi)).astype(np.float64)
@@ -178,9 +229,12 @@ def clip(x: Tensor, lo: float, hi: float) -> Tensor:
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``; gradients split back."""
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
+    t = tape_for(*tensors)
+    if t is not None:
+        return t.apply("concat", tuple(tensors), axis=axis)
+    tensors = [as_tensor(t_) for t_ in tensors]
+    data = np.concatenate([t_.data for t_ in tensors], axis=axis)
+    sizes = [t_.data.shape[axis] for t_ in tensors]
     offsets = np.cumsum([0] + sizes)
 
     def make_back(i: int):
@@ -197,8 +251,11 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis``; gradients unstack."""
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
+    t = tape_for(*tensors)
+    if t is not None:
+        return t.apply("stack", tuple(tensors), axis=axis)
+    tensors = [as_tensor(t_) for t_ in tensors]
+    data = np.stack([t_.data for t_ in tensors], axis=axis)
 
     def make_back(i: int):
         def back(g: np.ndarray) -> np.ndarray:
@@ -213,6 +270,9 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable select; ``cond`` is a non-differentiable boolean mask."""
     cond = np.asarray(cond, dtype=bool)
+    t = tape_for(a, b)
+    if t is not None:
+        return t.apply("where", (a, b), cond=cond)
     a, b = as_tensor(a), as_tensor(b)
     data = np.where(cond, a.data, b.data)
     return Tensor._from_op(
@@ -226,22 +286,31 @@ def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     )
 
 
+def _raw(v) -> np.ndarray:
+    return v.data if isinstance(v, (Tensor, Variable)) else np.asarray(v)
+
+
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise maximum of two tensors (ties route grad to the first)."""
-    a, b = as_tensor(a), as_tensor(b)
-    return where(a.data >= b.data, a, b)
+    if tape_for(a, b) is None:
+        a, b = as_tensor(a), as_tensor(b)
+    return where(_raw(a) >= _raw(b), a, b)
 
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise minimum of two tensors (ties route grad to the first)."""
-    a, b = as_tensor(a), as_tensor(b)
-    return where(a.data <= b.data, a, b)
+    if tape_for(a, b) is None:
+        a, b = as_tensor(a), as_tensor(b)
+    return where(_raw(a) <= _raw(b), a, b)
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
     """Inverted dropout with keep-scale applied at training time."""
     if not training or p <= 0.0:
-        return as_tensor(x)
+        return x if isinstance(x, Variable) else as_tensor(x)
+    t = tape_for(x)
+    if t is not None:
+        return t.apply("dropout", (x,), p=p, rng=rng)
     x = as_tensor(x)
     keep = 1.0 - p
     mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
@@ -251,24 +320,26 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
 
 def norm(x: Tensor, axis: int = -1, keepdims: bool = False, eps: float = 1e-12) -> Tensor:
     """Euclidean norm along ``axis`` (smoothed to stay differentiable at 0)."""
-    x = as_tensor(x)
+    if not isinstance(x, Variable):
+        x = as_tensor(x)
     sq = (x * x).sum(axis=axis, keepdims=keepdims)
     return sqrt(sq + eps)
 
 
 # ----------------------------------------------------------------------
-# attach convenience methods to Tensor
+# attach convenience methods to Tensor and Variable
 # ----------------------------------------------------------------------
 def _attach():
-    Tensor.exp = lambda self: exp(self)
-    Tensor.log = lambda self, eps=0.0: log(self, eps)
-    Tensor.sqrt = lambda self: sqrt(self)
-    Tensor.abs = lambda self: abs_(self)
-    Tensor.sigmoid = lambda self: sigmoid(self)
-    Tensor.tanh = lambda self: tanh(self)
-    Tensor.relu = lambda self: relu(self)
-    Tensor.clip = lambda self, lo, hi: clip(self, lo, hi)
-    Tensor.softmax = lambda self, axis=-1: softmax(self, axis)
+    for cls in (Tensor, Variable):
+        cls.exp = lambda self: exp(self)
+        cls.log = lambda self, eps=0.0: log(self, eps)
+        cls.sqrt = lambda self: sqrt(self)
+        cls.abs = lambda self: abs_(self)
+        cls.sigmoid = lambda self: sigmoid(self)
+        cls.tanh = lambda self: tanh(self)
+        cls.relu = lambda self: relu(self)
+        cls.clip = lambda self, lo, hi: clip(self, lo, hi)
+        cls.softmax = lambda self, axis=-1: softmax(self, axis)
 
 
 _attach()

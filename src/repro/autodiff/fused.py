@@ -1,0 +1,304 @@
+"""Fused composite ops: one tape record per encoder/decoder motif.
+
+The VRDAG training step repeats a handful of motifs thousands of times
+per epoch — affine+activation layers, the GRU cell update, GAT
+attention, and the MixBernoulli pairwise heads.  On the legacy closure
+engine each motif costs 5–40 small Tensor allocations plus as many
+backward closures; here each is a single :class:`~repro.autodiff.ops.OpSpec`
+with a hand-written VJP, so both sweeps are a few large NumPy calls.
+
+Registered ops
+--------------
+``linear_act``
+    ``act(x @ W [+ b])`` — every Linear / MLP layer.
+``gru_cell``
+    Full GRU step (r/z/n gates + convex combination), 11 inputs.
+``gat_attention``
+    Masked attention scores → softmax → renormalize → aggregate → ELU
+    (everything in :class:`repro.nn.attention.GATLayer` after the input
+    projection).
+``pairwise_mlp2``
+    ``mlp(s_i - s_j)`` for all pairs through a 2-layer MLP, using the
+    first-layer projection trick ``(s_i - s_j) @ W1 = P_i - P_j`` (same
+    reassociation as the no-grad decode kernels in
+    ``core/generator.py``), so the dominant matmul is O(N·d·h) instead
+    of O(N²·d·h).
+``mixbern_row_loglik``
+    σ → clip → Bernoulli log-likelihood → diagonal mask → pool over
+    destinations, producing the per-row per-component ``(N, K)``
+    log-likelihood of Eq. 11 in one record.
+
+Gradient formulas mirror what the legacy engine's composition of
+primitives computes; ``pairwise_mlp2`` reassociates the first layer, so
+its parity with the closure engine is a few-ulp affair rather than
+bit-exact (the parity suite pins both engines against finite
+differences too).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.ops import register_op, stable_sigmoid
+from repro.autodiff.tensor import unbroadcast
+
+__all__ = ["FUSED_ACTIVATIONS"]
+
+#: activations the fused kernels support (same names as nn.linear)
+FUSED_ACTIVATIONS = (
+    "identity",
+    "relu",
+    "leaky_relu",
+    "tanh",
+    "sigmoid",
+    "elu",
+    "softplus",
+)
+
+
+def _act_with_local(
+    name: str, pre: np.ndarray, slope: float
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Activation value + local derivative (``None`` marks identity)."""
+    if name == "identity":
+        return pre, None
+    if name == "relu":
+        return np.maximum(pre, 0.0), (pre > 0).astype(np.float64)
+    if name == "leaky_relu":
+        mask = np.where(pre > 0, 1.0, slope)
+        return pre * mask, mask
+    if name == "tanh":
+        out = np.tanh(pre)
+        return out, 1.0 - out**2
+    if name == "sigmoid":
+        out = stable_sigmoid(pre)
+        return out, out * (1.0 - out)
+    if name == "elu":
+        neg = np.exp(np.clip(pre, None, 0)) - 1.0
+        out = np.where(pre > 0, pre, neg)
+        return out, np.where(pre > 0, 1.0, neg + 1.0)
+    if name == "softplus":
+        out = np.logaddexp(0.0, pre)
+        return out, 1.0 / (1.0 + np.exp(-np.clip(pre, -60, 60)))
+    raise KeyError(
+        f"unsupported fused activation {name!r}; known: {FUSED_ACTIVATIONS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# linear_act: act(x @ W [+ b])
+# ----------------------------------------------------------------------
+def _linear_act_forward(x, w, b=None, *, activation="identity", negative_slope=0.2):
+    pre = x @ w
+    if b is not None:
+        pre = pre + b
+    out, local = _act_with_local(activation, pre, negative_slope)
+    return out, local
+
+
+def _linear_act_vjp(g, inputs, local, *, activation="identity", negative_slope=0.2):
+    x, w = inputs[0], inputs[1]
+    dpre = g if local is None else g * local
+    dx = dpre @ np.swapaxes(w, -1, -2)
+    dw = np.swapaxes(x, -1, -2) @ dpre
+    if len(inputs) == 2:
+        return dx, dw
+    db = unbroadcast(dpre, inputs[2].shape)
+    return dx, dw, db
+
+
+def _linear_act_jvp(tans, inputs, local, *, activation="identity", negative_slope=0.2):
+    x, w = inputs[0], inputs[1]
+    dpre = tans[0] @ w + x @ tans[1]
+    if len(inputs) == 3:
+        dpre = dpre + tans[2]
+    return dpre if local is None else dpre * local
+
+
+register_op("linear_act", _linear_act_forward, _linear_act_vjp, jvp=_linear_act_jvp)
+
+
+# ----------------------------------------------------------------------
+# gru_cell: full GRU step (gru.py forward, one record)
+# ----------------------------------------------------------------------
+def _gru_cell_forward(x, h, w_xr, w_hr, b_r, w_xz, w_hz, b_z, w_xn, w_hn, b_n):
+    r = stable_sigmoid(x @ w_xr + h @ w_hr + b_r)
+    z = stable_sigmoid(x @ w_xz + h @ w_hz + b_z)
+    rh = r * h
+    n = np.tanh(x @ w_xn + rh @ w_hn + b_n)
+    out = (1.0 - z) * n + z * h
+    return out, (r, z, n, rh)
+
+
+def _gru_cell_vjp(g, inputs, res):
+    x, h, w_xr, w_hr, _, w_xz, w_hz, _, w_xn, w_hn, _ = inputs
+    r, z, n, rh = res
+
+    dz = g * (h - n)
+    dn = g * (1.0 - z)
+    dh = g * z
+
+    dpre_n = dn * (1.0 - n**2)
+    db_n = dpre_n.sum(axis=0)
+    dw_xn = x.T @ dpre_n
+    dx = dpre_n @ w_xn.T
+    dw_hn = rh.T @ dpre_n
+    drh = dpre_n @ w_hn.T
+    dr = drh * h
+    dh = dh + drh * r
+
+    dpre_r = dr * r * (1.0 - r)
+    db_r = dpre_r.sum(axis=0)
+    dw_xr = x.T @ dpre_r
+    dw_hr = h.T @ dpre_r
+    dx = dx + dpre_r @ w_xr.T
+    dh = dh + dpre_r @ w_hr.T
+
+    dpre_z = dz * z * (1.0 - z)
+    db_z = dpre_z.sum(axis=0)
+    dw_xz = x.T @ dpre_z
+    dw_hz = h.T @ dpre_z
+    dx = dx + dpre_z @ w_xz.T
+    dh = dh + dpre_z @ w_hz.T
+
+    return (dx, dh, dw_xr, dw_hr, db_r, dw_xz, dw_hz, db_z, dw_xn, dw_hn, db_n)
+
+
+register_op("gru_cell", _gru_cell_forward, _gru_cell_vjp)
+
+
+# ----------------------------------------------------------------------
+# gat_attention: everything in GATLayer.forward after the projection
+# ----------------------------------------------------------------------
+def _gat_attention_forward(wh, a_src, a_dst, *, mask, negative_slope):
+    src = wh @ a_src                       # (N, 1)
+    dst = wh @ a_dst                       # (N, 1)
+    pre = src + dst.T                      # (N, N)
+    lmask = np.where(pre > 0, 1.0, negative_slope)
+    scores = pre * lmask
+    neg_inf = np.where(mask > 0, 0.0, -1e9)
+    sm_in = scores + neg_inf
+    shifted = sm_in - sm_in.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    soft = e / e.sum(axis=1, keepdims=True)
+    u = soft * mask
+    ssum = u.sum(axis=1, keepdims=True) + 1e-12
+    al = u / ssum
+    pre_out = al @ wh
+    neg = np.exp(np.clip(pre_out, None, 0)) - 1.0
+    out = np.where(pre_out > 0, pre_out, neg)
+    elu_local = np.where(pre_out > 0, 1.0, neg + 1.0)
+    return out, (lmask, soft, u, ssum, al, elu_local)
+
+
+def _gat_attention_vjp(g, inputs, res, *, mask, negative_slope):
+    wh, a_src, a_dst = inputs
+    lmask, soft, u, ssum, al, elu_local = res
+
+    dpre_out = g * elu_local
+    dal = dpre_out @ wh.T
+    dwh = al.T @ dpre_out
+    # al = u / ssum with ssum = sum_j u + 1e-12
+    du = dal / ssum
+    dssum = (-(dal * u) / ssum**2).sum(axis=1, keepdims=True)
+    du = du + dssum
+    dsoft = du * mask
+    # softmax over axis=1
+    dsm = soft * (dsoft - (dsoft * soft).sum(axis=1, keepdims=True))
+    dpre = dsm * lmask
+    dsrc = dpre.sum(axis=1, keepdims=True)      # (N, 1)
+    ddst = dpre.sum(axis=0, keepdims=True).T    # (N, 1)
+    dwh = dwh + dsrc @ a_src.T + ddst @ a_dst.T
+    da_src = wh.T @ dsrc
+    da_dst = wh.T @ ddst
+    return dwh, da_src, da_dst
+
+
+register_op("gat_attention", _gat_attention_forward, _gat_attention_vjp)
+
+
+# ----------------------------------------------------------------------
+# pairwise_mlp2: 2-layer MLP over all pairwise differences s_i - s_j
+# ----------------------------------------------------------------------
+def _unpack_pairwise(arrays, has_b1, has_b2):
+    it = iter(arrays)
+    s, w1 = next(it), next(it)
+    b1 = next(it) if has_b1 else None
+    w2 = next(it)
+    b2 = next(it) if has_b2 else None
+    return s, w1, b1, w2, b2
+
+
+def _pairwise_mlp2_forward(
+    *arrays, activation, negative_slope=0.2, has_b1=True, has_b2=True
+):
+    s, w1, b1, w2, b2 = _unpack_pairwise(arrays, has_b1, has_b2)
+    proj = s @ w1                                   # (N, h): the O(N·d·h) trick
+    pre = proj[:, None, :] - proj[None, :, :]       # (N, N, h)
+    if b1 is not None:
+        pre = pre + b1
+    hid, local = _act_with_local(activation, pre, negative_slope)
+    feats = hid @ w2                                # (N, N, K)
+    if b2 is not None:
+        feats = feats + b2
+    return feats, (local, hid)
+
+
+def _pairwise_mlp2_vjp(
+    g, inputs, res, *, activation, negative_slope=0.2, has_b1=True, has_b2=True
+):
+    local, hid = res
+    s, w1, b1, w2, b2 = _unpack_pairwise(inputs, has_b1, has_b2)
+    hdim = hid.shape[-1]
+    k = g.shape[-1]
+
+    dhid = g @ w2.T
+    dw2 = hid.reshape(-1, hdim).T @ g.reshape(-1, k)
+    db2 = g.sum(axis=(0, 1)) if has_b2 else None
+    dpre = dhid if local is None else dhid * local
+    db1 = dpre.sum(axis=(0, 1)) if has_b1 else None
+    # pre_ij depends on +proj_i and -proj_j
+    dproj = dpre.sum(axis=1) - dpre.sum(axis=0)     # (N, h)
+    ds = dproj @ w1.T
+    dw1 = s.T @ dproj
+
+    grads = [ds, dw1]
+    if has_b1:
+        grads.append(db1)
+    grads.append(dw2)
+    if has_b2:
+        grads.append(db2)
+    return tuple(grads)
+
+
+register_op("pairwise_mlp2", _pairwise_mlp2_forward, _pairwise_mlp2_vjp)
+
+
+# ----------------------------------------------------------------------
+# mixbern_row_loglik: per-row mixture-component Bernoulli log-likelihood
+# ----------------------------------------------------------------------
+def _mixbern_row_loglik_forward(feats, *, adjacency, eps):
+    theta = stable_sigmoid(feats)                   # (N, N, K)
+    theta_c = np.clip(theta, eps, 1.0 - eps)
+    a = adjacency[:, :, None]
+    n = feats.shape[0]
+    dmask = (1.0 - np.eye(n))[:, :, None]
+    log_bern = a * np.log(theta_c) + (1.0 - a) * np.log(1.0 - theta_c)
+    out = (log_bern * dmask).sum(axis=1)            # (N, K)
+    return out, theta
+
+
+def _mixbern_row_loglik_vjp(g, inputs, theta, *, adjacency, eps):
+    theta_c = np.clip(theta, eps, 1.0 - eps)
+    a = adjacency[:, :, None]
+    n = theta.shape[0]
+    dmask = (1.0 - np.eye(n))[:, :, None]
+    clip_mask = ((theta >= eps) & (theta <= 1.0 - eps)).astype(np.float64)
+    dtheta_c = g[:, None, :] * dmask * (a / theta_c - (1.0 - a) / (1.0 - theta_c))
+    dfeats = dtheta_c * clip_mask * theta * (1.0 - theta)
+    return (dfeats,)
+
+
+register_op("mixbern_row_loglik", _mixbern_row_loglik_forward, _mixbern_row_loglik_vjp)

@@ -1,0 +1,558 @@
+"""Flat-tape reverse-mode engine: ``Tape``, ``Record`` and ``Variable``.
+
+Instead of the legacy per-Tensor closure graph (``tensor.py``), this
+engine appends one flat :class:`Record` — ``(op, input_ids, out_id,
+impl_kwargs, residuals)`` — per primitive application to a
+:class:`Tape`.  Because records are appended in execution order the
+tape IS a topological order, so :meth:`Tape.backward` is a single
+reverse loop over records calling each op's registered VJP kernel
+(see :mod:`repro.autodiff.ops`) — no graph walk, no per-node closure
+allocation, and fused composite ops (:mod:`repro.autodiff.fused`)
+collapse whole encoder/decoder motifs into one record each.
+
+Usage::
+
+    with Tape() as tape:
+        loss = model.sequence_loss(graph)   # modules route onto the tape
+        loss.backward()                     # grads land in Parameter.grad
+
+The active-tape stack is thread-local, exactly like the legacy grad
+mode: concurrent generation threads never observe a training thread's
+tape.  Recording additionally respects :func:`no_grad`, so generation
+stays tape-free even inside a ``with Tape():`` block.
+
+Leaf lifting rules (``Tape.lift``):
+
+* a legacy **leaf** ``Tensor`` (e.g. ``Parameter``) becomes a tape leaf
+  remembering its source — ``backward`` accumulates into the source's
+  ``.grad`` so optimizers work unchanged;
+* plain arrays / scalars become constants;
+* a legacy **interior** node (``requires_grad`` with parents) is
+  rejected with ``RuntimeError`` — silently detaching it would drop
+  gradients for everything upstream of the engine boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autodiff.ops import OpSpec, get_op
+from repro.autodiff.tensor import Tensor, is_grad_enabled
+from repro.profiling import profiler
+
+__all__ = ["Record", "Tape", "Variable", "active_tape", "tape_for"]
+
+
+class _ActiveTapes(threading.local):
+    """Per-thread stack of entered tapes (innermost last)."""
+
+    def __init__(self):
+        self.stack: List["Tape"] = []
+
+
+_ACTIVE = _ActiveTapes()
+
+
+def active_tape() -> Optional["Tape"]:
+    """The innermost entered :class:`Tape` on this thread, if any."""
+    return _ACTIVE.stack[-1] if _ACTIVE.stack else None
+
+
+def tape_for(*args: Any) -> Optional["Tape"]:
+    """Routing rule shared by every dual-engine call site.
+
+    Returns the tape an operation should record onto: the tape of the
+    first :class:`Variable` argument if there is one, else the active
+    tape when grad recording is enabled, else ``None`` (legacy path).
+    """
+    for a in args:
+        if isinstance(a, Variable):
+            return a.tape
+    tape = active_tape()
+    if tape is not None and is_grad_enabled():
+        return tape
+    return None
+
+
+class Record:
+    """One tape entry: op spec + flat value ids + kwargs + residuals."""
+
+    __slots__ = ("spec", "input_ids", "out_id", "kwargs", "residuals")
+
+    def __init__(
+        self,
+        spec: OpSpec,
+        input_ids: Tuple[int, ...],
+        out_id: int,
+        kwargs: Dict[str, Any],
+        residuals: Any,
+    ):
+        self.spec = spec
+        self.input_ids = input_ids
+        self.out_id = out_id
+        self.kwargs = kwargs
+        self.residuals = residuals
+
+    def __repr__(self) -> str:
+        return (
+            f"Record(op={self.spec.name!r}, inputs={self.input_ids}, "
+            f"out={self.out_id})"
+        )
+
+
+class Tape:
+    """A flat list of :class:`Record` plus the value slots they address.
+
+    Also a context manager: entering pushes the tape onto the
+    thread-local active stack so module ``forward``s route onto it.
+    """
+
+    def __init__(self):
+        self._records: List[Record] = []
+        self._values: List[np.ndarray] = []
+        self._requires: List[bool] = []
+        #: value id -> legacy leaf Tensor whose ``.grad`` receives grads
+        self._sources: Dict[int, Tensor] = {}
+        #: id(Tensor) -> value id, so repeated lifts of the same
+        #: Parameter within one tape reuse a single leaf slot
+        self._lifted: Dict[int, int] = {}
+        self._lifted_keep: List[Tensor] = []  # keep ids stable
+        self._grads: Optional[List[Optional[np.ndarray]]] = None
+
+    # ------------------------------------------------------------------
+    # context manager / introspection
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Tape":
+        _ACTIVE.stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        popped = _ACTIVE.stack.pop()
+        assert popped is self, "tape stack corrupted"
+
+    @property
+    def records(self) -> Tuple[Record, ...]:
+        """The recorded ops, in execution (= topological) order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"Tape(records={len(self._records)}, values={len(self._values)})"
+
+    # ------------------------------------------------------------------
+    # value construction
+    # ------------------------------------------------------------------
+    def _new_value(self, data: np.ndarray, requires: bool) -> int:
+        vid = len(self._values)
+        self._values.append(data)
+        self._requires.append(requires)
+        return vid
+
+    def leaf(
+        self,
+        data: Any,
+        requires_grad: bool = False,
+        source: Optional[Tensor] = None,
+    ) -> "Variable":
+        """Create a leaf value (optionally tied to a legacy Tensor)."""
+        arr = np.asarray(data, dtype=np.float64)
+        vid = self._new_value(arr, bool(requires_grad))
+        if source is not None and requires_grad:
+            self._sources[vid] = source
+        return Variable(self, vid, arr)
+
+    def lift(self, value: Any) -> "Variable":
+        """Coerce ``value`` onto this tape (see module docstring rules)."""
+        if isinstance(value, Variable):
+            if value.tape is not self:
+                raise RuntimeError(
+                    "cannot mix Variables from different tapes in one op"
+                )
+            return value
+        if isinstance(value, Tensor):
+            vid = self._lifted.get(id(value))
+            if vid is not None:
+                return Variable(self, vid, self._values[vid])
+            if value.requires_grad and value._parents:
+                raise RuntimeError(
+                    "cannot lift a legacy interior autodiff node onto a "
+                    "tape: its upstream closure graph would be silently "
+                    "detached; detach() it explicitly or build it on the "
+                    "tape instead"
+                )
+            var = self.leaf(
+                value.data,
+                requires_grad=value.requires_grad,
+                source=value if value.requires_grad else None,
+            )
+            self._lifted[id(value)] = var.vid
+            self._lifted_keep.append(value)
+            return var
+        return self.leaf(np.asarray(value, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def apply(self, name: str, inputs: Sequence[Any], **kwargs: Any) -> "Variable":
+        """Run op ``name`` on ``inputs``, recording it when grads are on."""
+        spec = get_op(name)
+        vars_ = [self.lift(x) for x in inputs]
+        datas = tuple(v.data for v in vars_)
+        if profiler.enabled:
+            with profiler.timer(f"tape.op.{name}"):
+                out, residuals = spec.forward(*datas, **kwargs)
+        else:
+            out, residuals = spec.forward(*datas, **kwargs)
+        out = np.asarray(out, dtype=np.float64)
+        requires = is_grad_enabled() and any(
+            self._requires[v.vid] for v in vars_
+        )
+        out_id = self._new_value(out, requires)
+        if requires:
+            self._records.append(
+                Record(spec, tuple(v.vid for v in vars_), out_id, kwargs, residuals)
+            )
+        return Variable(self, out_id, out)
+
+    # ------------------------------------------------------------------
+    # reverse sweep
+    # ------------------------------------------------------------------
+    def _pullback(
+        self, out_id: int, seed: np.ndarray
+    ) -> List[Optional[np.ndarray]]:
+        """One reverse pass over the records; returns grads per value id."""
+        grads: List[Optional[np.ndarray]] = [None] * len(self._values)
+        grads[out_id] = seed
+        requires = self._requires
+        prof = profiler.enabled
+        for rec in reversed(self._records):
+            g = grads[rec.out_id]
+            if g is None:
+                continue
+            inputs = tuple(self._values[i] for i in rec.input_ids)
+            if prof:
+                with profiler.timer(f"tape.vjp.{rec.spec.name}"):
+                    pgs = rec.spec.vjp(g, inputs, rec.residuals, **rec.kwargs)
+            else:
+                pgs = rec.spec.vjp(g, inputs, rec.residuals, **rec.kwargs)
+            for vid, pg in zip(rec.input_ids, pgs):
+                if pg is None or not requires[vid]:
+                    continue
+                if grads[vid] is None:
+                    grads[vid] = pg
+                else:
+                    grads[vid] = grads[vid] + pg
+        return grads
+
+    @staticmethod
+    def _seed_for(out: "Variable", grad: Optional[np.ndarray]) -> np.ndarray:
+        if grad is None:
+            if out.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {out.shape}"
+                )
+            return np.ones_like(out.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != out.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match output shape "
+                f"{out.shape}"
+            )
+        return grad
+
+    def backward(self, out: "Variable", grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from ``out``; accumulate into source Tensors."""
+        grads = self._pullback(out.vid, self._seed_for(out, grad))
+        self._grads = grads
+        for vid, src in self._sources.items():
+            g = grads[vid]
+            if g is None:
+                continue
+            src.grad = g if src.grad is None else src.grad + g
+
+    def grad(self, var: Union["Variable", Tensor]) -> Optional[np.ndarray]:
+        """Gradient of the last :meth:`backward` w.r.t. ``var``."""
+        if self._grads is None:
+            return None
+        return self._grads[self._value_id(var)]
+
+    # ------------------------------------------------------------------
+    # derived linear maps (abopt-style get_vjp / get_jvp)
+    # ------------------------------------------------------------------
+    def _value_id(self, var: Union["Variable", Tensor]) -> int:
+        if isinstance(var, Variable):
+            if var.tape is not self:
+                raise RuntimeError("Variable belongs to a different tape")
+            return var.vid
+        vid = self._lifted.get(id(var))
+        if vid is None:
+            raise KeyError("Tensor was never lifted onto this tape")
+        return vid
+
+    def get_vjp(
+        self,
+        output: "Variable",
+        wrt: Sequence[Union["Variable", Tensor]],
+    ) -> Callable[[Optional[np.ndarray]], List[np.ndarray]]:
+        """Vector-Jacobian product of ``output`` w.r.t. ``wrt`` leaves.
+
+        The returned callable maps an output cotangent (default: ones,
+        valid for scalar outputs) to one gradient array per ``wrt``
+        entry, zeros where no path exists.
+        """
+        out_id = output.vid
+        wrt_ids = [self._value_id(w) for w in wrt]
+
+        def vjp_fn(seed: Optional[np.ndarray] = None) -> List[np.ndarray]:
+            grads = self._pullback(out_id, self._seed_for(output, seed))
+            return [
+                grads[i] if grads[i] is not None else np.zeros_like(self._values[i])
+                for i in wrt_ids
+            ]
+
+        return vjp_fn
+
+    def get_jvp(
+        self,
+        output: "Variable",
+        wrt: Sequence[Union["Variable", Tensor]],
+    ) -> Callable[[Sequence[np.ndarray]], np.ndarray]:
+        """Jacobian-vector product: push ``wrt`` tangents forward.
+
+        Only ops that declare a JVP kernel are supported; hitting one
+        without raises ``NotImplementedError`` naming the op.
+        """
+        out_id = output.vid
+        wrt_ids = [self._value_id(w) for w in wrt]
+
+        def jvp_fn(tangents: Sequence[np.ndarray]) -> np.ndarray:
+            if len(tangents) != len(wrt_ids):
+                raise ValueError(
+                    f"expected {len(wrt_ids)} tangents, got {len(tangents)}"
+                )
+            tan: List[Optional[np.ndarray]] = [None] * len(self._values)
+            for vid, t in zip(wrt_ids, tangents):
+                t = np.asarray(t, dtype=np.float64)
+                if t.shape != self._values[vid].shape:
+                    raise ValueError(
+                        f"tangent shape {t.shape} does not match value "
+                        f"shape {self._values[vid].shape}"
+                    )
+                tan[vid] = t
+            for rec in self._records:
+                in_tans = [tan[i] for i in rec.input_ids]
+                if all(t is None for t in in_tans):
+                    continue
+                if rec.spec.jvp is None:
+                    raise NotImplementedError(
+                        f"op {rec.spec.name!r} has no JVP kernel"
+                    )
+                inputs = tuple(self._values[i] for i in rec.input_ids)
+                filled = [
+                    np.zeros_like(inputs[k]) if t is None else t
+                    for k, t in enumerate(in_tans)
+                ]
+                tan[rec.out_id] = rec.spec.jvp(
+                    filled, inputs, rec.residuals, **rec.kwargs
+                )
+            t = tan[out_id]
+            return t if t is not None else np.zeros_like(self._values[out_id])
+
+        return jvp_fn
+
+
+class Variable:
+    """A value recorded on a :class:`Tape` — the tape engine's Tensor.
+
+    Mirrors the legacy :class:`~repro.autodiff.tensor.Tensor` surface
+    (arithmetic, reductions, shape ops, ``backward``) but holds no
+    closures: just ``(tape, value id, array)``.  Mixed expressions with
+    legacy Tensors work because Tensor's binary dunders return
+    ``NotImplemented`` for Variables, deferring to the reflected
+    methods here, which lift the Tensor onto the tape.
+    """
+
+    __slots__ = ("tape", "vid", "data")
+    __array_priority__ = 200  # outrank both np.ndarray and Tensor
+    _is_tape_variable = True
+
+    def __init__(self, tape: Tape, vid: int, data: np.ndarray):
+        self.tape = tape
+        self.vid = vid
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of array dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def requires_grad(self) -> bool:
+        """Whether any recorded path reaches a grad-requiring leaf."""
+        return self.tape._requires[self.vid]
+
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        """Gradient from the tape's last backward pass, if any."""
+        return self.tape.grad(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"Variable(shape={self.shape}, vid={self.vid}, "
+            f"requires_grad={self.requires_grad})"
+        )
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def __array__(self, dtype=None):
+        return np.asarray(self.data, dtype=dtype)
+
+    def item(self) -> float:
+        """The single scalar value (raises if ``size != 1``)."""
+        return float(self.data)
+
+    def detach(self) -> Tensor:
+        """Cut from the tape: a constant legacy Tensor sharing data."""
+        return Tensor(self.data, requires_grad=False)
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate through this Variable's tape."""
+        self.tape.backward(self, grad)
+
+    # ------------------------------------------------------------------
+    # arithmetic (records onto the tape)
+    # ------------------------------------------------------------------
+    def _apply(self, name: str, inputs: Sequence[Any], **kwargs: Any) -> "Variable":
+        return self.tape.apply(name, inputs, **kwargs)
+
+    def __add__(self, other: Any) -> "Variable":
+        return self._apply("add", (self, other))
+
+    def __radd__(self, other: Any) -> "Variable":
+        return self._apply("add", (other, self))
+
+    def __sub__(self, other: Any) -> "Variable":
+        return self._apply("sub", (self, other))
+
+    def __rsub__(self, other: Any) -> "Variable":
+        return self._apply("sub", (other, self))
+
+    def __mul__(self, other: Any) -> "Variable":
+        return self._apply("mul", (self, other))
+
+    def __rmul__(self, other: Any) -> "Variable":
+        return self._apply("mul", (other, self))
+
+    def __truediv__(self, other: Any) -> "Variable":
+        return self._apply("div", (self, other))
+
+    def __rtruediv__(self, other: Any) -> "Variable":
+        return self._apply("div", (other, self))
+
+    def __neg__(self) -> "Variable":
+        return self._apply("neg", (self,))
+
+    def __pow__(self, exponent: float) -> "Variable":
+        if isinstance(exponent, (Variable, Tensor)):
+            raise TypeError("Variable exponents are not supported; use exp/log")
+        return self._apply("pow", (self,), exponent=exponent)
+
+    def __matmul__(self, other: Any) -> "Variable":
+        return self._apply("matmul", (self, other))
+
+    def __rmatmul__(self, other: Any) -> "Variable":
+        return self._apply("matmul", (other, self))
+
+    def __getitem__(self, index: Any) -> "Variable":
+        return self._apply("getitem", (self,), index=index)
+
+    # ------------------------------------------------------------------
+    # comparisons (non-differentiable, numpy results — like Tensor)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: Any) -> np.ndarray:
+        return self.data > np.asarray(other)
+
+    def __lt__(self, other: Any) -> np.ndarray:
+        return self.data < np.asarray(other)
+
+    def __ge__(self, other: Any) -> np.ndarray:
+        return self.data >= np.asarray(other)
+
+    def __le__(self, other: Any) -> np.ndarray:
+        return self.data <= np.asarray(other)
+
+    # ------------------------------------------------------------------
+    # reductions / shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Variable":
+        """Sum over ``axis`` (or all elements)."""
+        return self._apply("sum", (self,), axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Variable":
+        """Mean over ``axis`` (same sum/div composition as the legacy engine)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Variable":
+        """Maximum over ``axis``; gradient splits between ties."""
+        return self._apply("max", (self,), axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Variable":
+        """Reshaped view; gradient reshapes back."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return self._apply("reshape", (self,), shape=shape)
+
+    def transpose(self, *axes) -> "Variable":
+        """Axis permutation; gradient applies the inverse permutation."""
+        if not axes:
+            axes_ = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes_ = tuple(axes[0])
+        else:
+            axes_ = tuple(axes)
+        return self._apply("transpose", (self,), axes=axes_)
+
+    @property
+    def T(self) -> "Variable":
+        """Transposed view (gradient transposes back)."""
+        return self.transpose()
+
+    def expand_dims(self, axis: int) -> "Variable":
+        """Insert a size-1 axis at ``axis``."""
+        return self._apply("expand_dims", (self,), axis=axis)
+
+    def squeeze(self, axis: int) -> "Variable":
+        """Drop a size-1 axis at ``axis``."""
+        return self._apply("squeeze", (self,), axis=axis)
+
+    # convenience wrappers (exp/log/sigmoid/...) are attached by
+    # functional.py's _attach(), mirroring the legacy Tensor

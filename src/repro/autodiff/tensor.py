@@ -72,6 +72,11 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_variable(value) -> bool:
+    """Duck-typed check for a tape Variable (no import cycle with tape.py)."""
+    return getattr(type(value), "_is_tape_variable", False)
+
+
 def _as_array(value: Arrayish) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
@@ -79,9 +84,20 @@ def _as_array(value: Arrayish) -> np.ndarray:
 
 
 def as_tensor(value: Arrayish) -> "Tensor":
-    """Coerce ``value`` to a Tensor (no copy if it already is one)."""
+    """Coerce ``value`` to a Tensor (no copy if it already is one).
+
+    Tape :class:`~repro.autodiff.tape.Variable` values are rejected:
+    coercing one to a constant Tensor would silently detach it from its
+    tape and drop gradients (use ``Variable.detach()`` to do so on
+    purpose).
+    """
     if isinstance(value, Tensor):
         return value
+    if _is_variable(value):
+        raise TypeError(
+            "cannot coerce a tape Variable to a legacy Tensor; use "
+            "Variable.detach() to drop gradients explicitly"
+        )
     return Tensor(np.asarray(value, dtype=np.float64))
 
 
@@ -252,6 +268,8 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: Arrayish) -> "Tensor":
+        if _is_variable(other):
+            return NotImplemented  # defer to Variable's reflected op
         other = as_tensor(other)
         data = self.data + other.data
         return Tensor._from_op(
@@ -267,6 +285,8 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other: Arrayish) -> "Tensor":
+        if _is_variable(other):
+            return NotImplemented
         other = as_tensor(other)
         data = self.data - other.data
         return Tensor._from_op(
@@ -283,6 +303,8 @@ class Tensor:
         return as_tensor(other) - self
 
     def __mul__(self, other: Arrayish) -> "Tensor":
+        if _is_variable(other):
+            return NotImplemented
         other = as_tensor(other)
         data = self.data * other.data
         return Tensor._from_op(
@@ -298,6 +320,8 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
+        if _is_variable(other):
+            return NotImplemented
         other = as_tensor(other)
         data = self.data / other.data
         return Tensor._from_op(
@@ -330,6 +354,8 @@ class Tensor:
         )
 
     def __matmul__(self, other: Arrayish) -> "Tensor":
+        if _is_variable(other):
+            return NotImplemented
         other = as_tensor(other)
         data = self.data @ other.data
         # promote 1-D operands to 2-D for the backward pass, mirroring

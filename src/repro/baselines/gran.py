@@ -60,12 +60,14 @@ class GRAN(GraphGenerator):
         hidden_dim: int = 16,
         epochs: int = 30,
         learning_rate: float = 1e-2,
+        engine: str = "tape",
         seed: int = 0,
     ):
         super().__init__(seed)
         self.hidden_dim = hidden_dim
         self.epochs = epochs
         self.learning_rate = learning_rate
+        self.engine = engine
         self._scorer: Optional[MLP] = None
         self._num_nodes = 0
         self._avg_edges = 0.0
@@ -107,13 +109,14 @@ class GRAN(GraphGenerator):
         feats, labels = feats[idx], labels[idx]
         x = as_tensor(feats)
         for _ in range(self.epochs):
-            logits = self._scorer(x).reshape(len(labels))
-            p = F.clip(F.sigmoid(logits), 1e-7, 1 - 1e-7)
-            loss = -(
-                labels * F.log(p) + (1 - labels) * F.log(1 - p)
-            ).mean()
-            optimizer.zero_grad()
-            loss.backward()
+            with self._train_ctx():
+                logits = self._scorer(x).reshape(len(labels))
+                p = F.clip(F.sigmoid(logits), 1e-7, 1 - 1e-7)
+                loss = -(
+                    labels * F.log(p) + (1 - labels) * F.log(1 - p)
+                ).mean()
+                optimizer.zero_grad()
+                loss.backward()
             optimizer.step()
         self.fitted = True
         return self

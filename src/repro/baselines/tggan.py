@@ -72,6 +72,7 @@ class TGGAN(GraphGenerator):
         adversarial_rounds: int = 3,
         disc_epochs: int = 20,
         time_window: int = 1,
+        engine: str = "tape",
         seed: int = 0,
     ):
         super().__init__(seed)
@@ -80,6 +81,7 @@ class TGGAN(GraphGenerator):
         self.adversarial_rounds = adversarial_rounds
         self.disc_epochs = disc_epochs
         self.time_window = time_window
+        self.engine = engine
         self._bigram: Dict[int, Dict[int, float]] = {}
         self._start_probs: Optional[np.ndarray] = None
         self._edges_per_step: List[int] = []
@@ -146,11 +148,12 @@ class TGGAN(GraphGenerator):
         x = as_tensor(np.concatenate([xr, xf]))
         y = np.concatenate([np.ones(len(xr)), np.zeros(len(xf))])
         for _ in range(self.disc_epochs):
-            logits = self._discriminator(x).reshape(len(y))
-            p = F.clip(F.sigmoid(logits), 1e-7, 1 - 1e-7)
-            loss = -(y * F.log(p) + (1 - y) * F.log(1 - p)).mean()
-            optimizer.zero_grad()
-            loss.backward()
+            with self._train_ctx():
+                logits = self._discriminator(x).reshape(len(y))
+                p = F.clip(F.sigmoid(logits), 1e-7, 1 - 1e-7)
+                loss = -(y * F.log(p) + (1 - y) * F.log(1 - p)).mean()
+                optimizer.zero_grad()
+                loss.backward()
             optimizer.step()
 
     def _reweight_generator(self, fake_walks: List[Walk]) -> None:

@@ -90,6 +90,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="VRDAG only")
     train.add_argument("--latent-dim", type=int, default=12,
                        help="VRDAG only")
+    train.add_argument(
+        "--engine", choices=("tape", "legacy"), default=None,
+        help="autodiff engine for net-training generators "
+        "(default: the generator's own default, 'tape')",
+    )
+    train.add_argument(
+        "--profile", action="store_true",
+        help="run fit under the profiler and print the per-scope "
+        "report (includes per-op tape.op.* / tape.vjp.* timers)",
+    )
     train.add_argument("--model-out", required=True)
 
     gen = sub.add_parser(
@@ -252,6 +262,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_train(args) -> int:
     from repro import api
+    from repro.profiling import profiler
 
     config = json.loads(args.generator_config) if args.generator_config else {}
     config.setdefault("seed", args.seed)
@@ -260,11 +271,28 @@ def _cmd_train(args) -> int:
         config.setdefault("hidden_dim", args.hidden_dim)
         config.setdefault("latent_dim", args.latent_dim)
         config.setdefault("encode_dim", args.hidden_dim)
+    if args.engine is not None:
+        from repro.api.registry import generator_entry
+
+        if "engine" not in generator_entry(args.generator).cls.config_keys():
+            print(
+                f"train: generator {args.generator!r} does not train "
+                "nn modules and has no --engine knob",
+                file=sys.stderr,
+            )
+            return 2
+        config["engine"] = args.engine
     generator = api.get_generator(args.generator, **config)
 
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     print(f"fitting {args.generator} on {graph}")
-    generator.fit(graph)
+    if args.profile:
+        profiler.reset()
+        with profiler.enable():
+            generator.fit(graph)
+        print(profiler.report())
+    else:
+        generator.fit(graph)
     api.save_artifact(generator, args.model_out)
     result = getattr(generator, "train_result", None)
     if result is not None:

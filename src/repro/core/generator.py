@@ -16,6 +16,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autodiff import Tensor, functional as F
+from repro.autodiff.fused import FUSED_ACTIVATIONS
+from repro.autodiff.tape import Tape, tape_for
 from repro.autodiff.tensor import as_tensor
 from repro.nn import GATLayer, MLP, Module
 from repro.nn.linear import get_activation
@@ -170,9 +172,46 @@ class MixBernoulliSampler(Module):
         diff = s.expand_dims(1) - s.expand_dims(0)  # (N, N, d)
         return diff.reshape(n * n, d)
 
+    def _pairwise_feats_tape(self, tape: Tape, mlp: MLP, s) -> "object":
+        """Head features ``mlp(s_i - s_j)`` as an ``(N, N, K)`` tape value.
+
+        The standard 2-layer heads go through the fused ``pairwise_mlp2``
+        record (first-layer projection trick: O(N·d·h) instead of
+        O(N²·d·h)); other shapes fall back to the generic pairwise pass
+        on tape primitives.
+        """
+        if (
+            len(mlp.layers) == 2
+            and mlp.out_activation == "identity"
+            and mlp.activation in FUSED_ACTIVATIONS
+        ):
+            first, last = mlp.layers
+            inputs = [s, first.weight]
+            if first.bias is not None:
+                inputs.append(first.bias)
+            inputs.append(last.weight)
+            if last.bias is not None:
+                inputs.append(last.bias)
+            return tape.apply(
+                "pairwise_mlp2",
+                tuple(inputs),
+                activation=mlp.activation,
+                has_b1=first.bias is not None,
+                has_b2=last.bias is not None,
+            )
+        pair = self._pairwise(s)
+        return mlp(pair).reshape(s.shape[0], s.shape[0], self.num_components)
+
     def distribution(self, s: Tensor) -> Tuple[Tensor, Tensor]:
         """Return (α, θ): mixing weights (N, K) and probs (N, N, K)."""
         n = s.shape[0]
+        tape = tape_for(s)
+        if tape is not None:
+            s_v = tape.lift(s)
+            alpha_feats = self._pairwise_feats_tape(tape, self.f_alpha, s_v)
+            alpha = F.softmax(alpha_feats.sum(axis=1), axis=-1)  # pool over j
+            theta = F.sigmoid(self._pairwise_feats_tape(tape, self.f_theta, s_v))
+            return alpha, theta
         pair = self._pairwise(s)
         alpha_feats = self.f_alpha(pair).reshape(n, n, self.num_components)
         alpha = F.softmax(alpha_feats.sum(axis=1), axis=-1)  # pool over j
@@ -188,6 +227,22 @@ class MixBernoulliSampler(Module):
         structurally impossible.
         """
         n = s.shape[0]
+        tape = tape_for(s)
+        if tape is not None:
+            # fused path: σ → clip → Bernoulli log-lik → diagonal mask →
+            # pool over j is a single mixbern_row_loglik record
+            s_v = tape.lift(s)
+            alpha_feats = self._pairwise_feats_tape(tape, self.f_alpha, s_v)
+            alpha = F.softmax(alpha_feats.sum(axis=1), axis=-1)
+            theta_feats = self._pairwise_feats_tape(tape, self.f_theta, s_v)
+            row_loglik = tape.apply(
+                "mixbern_row_loglik",
+                (theta_feats,),
+                adjacency=np.asarray(adjacency, dtype=np.float64),
+                eps=_PROB_EPS,
+            )
+            mixed = F.logsumexp(F.log(alpha, eps=1e-12) + row_loglik, axis=1)
+            return mixed.mean()
         alpha, theta = self.distribution(s)
         theta = F.clip(theta, _PROB_EPS, 1.0 - _PROB_EPS)
         a = np.asarray(adjacency, dtype=np.float64)[:, :, None]  # (N, N, 1)

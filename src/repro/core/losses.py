@@ -1,4 +1,12 @@
-"""VRDAG loss terms (§III-E, Eq. 14–18)."""
+"""VRDAG loss terms (§III-E, Eq. 14–18).
+
+Engine-polymorphic by construction: every term is built from
+:mod:`repro.autodiff.functional` ops and Tensor/Variable arithmetic,
+so inside a training :class:`~repro.autodiff.tape.Tape` the same code
+records flat tape entries, while outside it builds the legacy closure
+graph.  Constant inputs (``x_true``, adjacency, masks) stay plain
+arrays / legacy Tensors on both engines.
+"""
 
 from __future__ import annotations
 

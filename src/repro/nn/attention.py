@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autodiff import Tensor, functional as F
+from repro.autodiff.tape import tape_for
 from repro.nn.module import Module, Parameter
 from repro.nn import init
 from repro.nn.linear import Linear
@@ -45,7 +46,23 @@ class GATLayer(Module):
         self.negative_slope = negative_slope
 
     def forward(self, h: Tensor, adj: np.ndarray) -> Tensor:
-        """Attend over ``adj`` (constant 0/1 matrix, row i = neighbours of i)."""
+        """Attend over ``adj`` (constant 0/1 matrix, row i = neighbours of i).
+
+        On the tape engine everything after the input projection —
+        scores, masked softmax, renormalization, aggregation, ELU — is
+        one fused ``gat_attention`` record.
+        """
+        tape = tape_for(h)
+        if tape is not None:
+            wh = self.proj(h)
+            mask = np.asarray(adj, dtype=np.float64).copy()
+            np.fill_diagonal(mask, 1.0)
+            return tape.apply(
+                "gat_attention",
+                (wh, self.attn_src, self.attn_dst),
+                mask=mask,
+                negative_slope=self.negative_slope,
+            )
         n = h.shape[0]
         wh = self.proj(h)                        # (N, d)
         src = wh @ self.attn_src                 # (N, 1) contribution of i

@@ -7,6 +7,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.autodiff import Tensor, functional as F
+from repro.autodiff.tape import tape_for
 from repro.nn.module import Module, Parameter
 from repro.nn import init
 
@@ -59,7 +60,19 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        """Affine map ``x @ W + b``."""
+        """Affine map ``x @ W + b``.
+
+        On the tape engine the whole layer is one fused ``linear_act``
+        record; otherwise it builds the legacy closure graph.
+        """
+        tape = tape_for(x)
+        if tape is not None:
+            inputs = (
+                (x, self.weight)
+                if self.bias is None
+                else (x, self.weight, self.bias)
+            )
+            return tape.apply("linear_act", inputs, activation="identity")
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -97,7 +110,23 @@ class MLP(Module):
         self._out_act = get_activation(out_activation)
 
     def forward(self, x: Tensor) -> Tensor:
-        """Apply all layers with the configured activations."""
+        """Apply all layers with the configured activations.
+
+        On the tape engine each affine+activation pair is one fused
+        ``linear_act`` record (a 3-layer MLP is 3 records total).
+        """
+        tape = tape_for(x)
+        if tape is not None:
+            last = len(self.layers) - 1
+            for i, layer in enumerate(self.layers):
+                act = self.activation if i < last else self.out_activation
+                inputs = (
+                    (x, layer.weight)
+                    if layer.bias is None
+                    else (x, layer.weight, layer.bias)
+                )
+                x = tape.apply("linear_act", inputs, activation=act)
+            return x
         for layer in self.layers[:-1]:
             x = self._act(layer(x))
         x = self.layers[-1](x)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.autodiff import Tensor, functional as F
 from repro.autodiff.tensor import as_tensor
+from repro.autodiff.tape import Variable, tape_for
 from repro.nn.module import Module, Parameter
 
 
@@ -31,8 +32,11 @@ class Time2Vec(Module):
 
     def forward(self, t: float) -> Tensor:
         """Embed scalar time ``t``; returns a ``(dim,)`` tensor."""
-        t_t = as_tensor(float(t))
-        raw = self.w * t_t + self.phi
+        tape = tape_for()
+        if tape is not None:
+            raw = tape.lift(self.w) * float(t) + tape.lift(self.phi)
+        else:
+            raw = self.w * as_tensor(float(t)) + self.phi
         if self.dim == 1:
             return raw
         linear = raw[0:1]
@@ -41,6 +45,8 @@ class Time2Vec(Module):
 
 
 def _sin(x: Tensor) -> Tensor:
+    if isinstance(x, Variable):
+        return x.tape.apply("sin", (x,))
     data = np.sin(x.data)
     cos = np.cos(x.data)
     return Tensor._from_op(data, (x,), (lambda g: g * cos,), "sin")

@@ -1,0 +1,239 @@
+"""Flat-tape engine mechanics: recording, lifting, backward, threading.
+
+Gradient *values* are covered by the parity suite
+(``test_engine_parity.py``); this file pins the tape's structural
+contracts — what gets recorded when, how legacy Tensors cross the
+engine boundary, and the thread-locality of the active-tape stack.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tape, Tensor, Variable, no_grad
+from repro.autodiff.ops import get_op, registered_ops
+from repro.autodiff.tape import active_tape, tape_for
+from repro.autodiff.tensor import as_tensor
+from repro.nn import Parameter
+
+
+class TestRecording:
+    def test_tape_is_flat_and_ordered(self):
+        with Tape() as tape:
+            x = tape.leaf(np.ones(3), requires_grad=True)
+            y = (x * 2.0 + 1.0).sum()
+        names = [r.spec.name for r in tape.records]
+        assert names == ["mul", "add", "sum"]
+        assert len(tape) == 3
+        # records address earlier value ids only: the tape order is
+        # the topological order the backward sweep relies on
+        for rec in tape.records:
+            assert all(i < rec.out_id for i in rec.input_ids)
+        assert isinstance(y, Variable)
+
+    def test_constant_only_ops_record_nothing(self):
+        with Tape() as tape:
+            a = tape.leaf(np.ones(3))  # requires_grad=False
+            out = (a * 3.0).sum()
+        assert len(tape) == 0
+        np.testing.assert_allclose(out.data, 9.0)
+
+    def test_no_grad_records_nothing(self):
+        with Tape() as tape:
+            x = tape.leaf(np.ones(3), requires_grad=True)
+            with no_grad():
+                out = (x * 2.0).sum()
+        assert len(tape) == 0
+        assert not out.requires_grad
+
+    def test_apply_rejects_unknown_op(self):
+        with pytest.raises(KeyError):
+            get_op("definitely_not_an_op")
+
+    def test_fused_ops_are_registered(self):
+        names = registered_ops()
+        for fused in (
+            "linear_act", "gru_cell", "gat_attention",
+            "pairwise_mlp2", "mixbern_row_loglik",
+        ):
+            assert fused in names
+
+
+class TestLifting:
+    def test_parameter_lift_dedupes(self):
+        p = Parameter(np.ones(4))
+        with Tape() as tape:
+            a = tape.lift(p)
+            b = tape.lift(p)
+        assert a.vid == b.vid
+
+    def test_leaf_grad_writes_back_to_source(self):
+        p = Parameter(np.arange(3.0))
+        with Tape() as tape:
+            v = tape.lift(p)
+            loss = (v * v).sum()
+            loss.backward()
+        np.testing.assert_allclose(p.grad, 2.0 * np.arange(3.0))
+
+    def test_backward_accumulates_across_calls(self):
+        p = Parameter(np.ones(2))
+        with Tape() as tape:
+            loss = (tape.lift(p) * 3.0).sum()
+            loss.backward()
+            loss.backward()
+        np.testing.assert_allclose(p.grad, 6.0 * np.ones(2))
+
+    def test_legacy_interior_node_is_rejected(self):
+        p = Parameter(np.ones(3))
+        interior = p * 2.0  # legacy closure node with parents
+        with Tape() as tape:
+            with pytest.raises(RuntimeError, match="interior"):
+                tape.lift(interior)
+            # detaching explicitly is the sanctioned escape hatch
+            v = tape.lift(interior.detach())
+            assert not v.requires_grad
+
+    def test_cross_tape_mixing_is_rejected(self):
+        t1, t2 = Tape(), Tape()
+        a = t1.leaf(np.ones(2), requires_grad=True)
+        with pytest.raises(RuntimeError, match="different tapes"):
+            t2.lift(a)
+
+    def test_as_tensor_rejects_variables(self):
+        with Tape() as tape:
+            v = tape.leaf(np.ones(2), requires_grad=True)
+            with pytest.raises(TypeError, match="detach"):
+                as_tensor(v)
+
+    def test_detach_cuts_from_tape(self):
+        with Tape() as tape:
+            v = tape.leaf(np.ones(2), requires_grad=True)
+            t = v.detach()
+        assert isinstance(t, Tensor) and not t.requires_grad
+
+
+class TestMixedEngine:
+    def test_tensor_op_variable_promotes_to_variable(self):
+        p = Parameter(np.ones(3))
+        c = Tensor(np.full(3, 2.0))
+        with Tape() as tape:
+            v = tape.lift(p)
+            for mixed in (c * v, v * c, c + v, v - c, c / v, v @ np.ones(3)):
+                assert isinstance(mixed, Variable)
+
+    def test_numpy_defers_to_variable(self):
+        with Tape() as tape:
+            v = tape.leaf(np.ones(3), requires_grad=True)
+            out = np.full(3, 2.0) * v
+        assert isinstance(out, Variable)
+        np.testing.assert_allclose(out.data, 2.0)
+
+
+class TestRouting:
+    def test_no_active_tape_routes_legacy(self):
+        assert tape_for() is None
+        assert active_tape() is None
+
+    def test_active_tape_routes_when_grad_enabled(self):
+        with Tape() as tape:
+            assert tape_for() is tape
+            with no_grad():
+                assert tape_for() is None
+
+    def test_variable_argument_wins(self):
+        t1 = Tape()
+        v = t1.leaf(np.ones(2), requires_grad=True)
+        with Tape():
+            assert tape_for(v) is t1
+
+    def test_tapes_nest(self):
+        with Tape() as outer:
+            with Tape() as inner:
+                assert active_tape() is inner
+            assert active_tape() is outer
+
+    def test_active_tape_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["worker_tape"] = active_tape()
+            with Tape() as wt:
+                seen["worker_inner"] = active_tape() is wt
+
+        with Tape() as tape:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert active_tape() is tape
+        assert seen["worker_tape"] is None
+        assert seen["worker_inner"] is True
+
+
+class TestBackwardValidation:
+    def test_nonscalar_backward_needs_explicit_grad(self):
+        with Tape() as tape:
+            v = tape.leaf(np.ones(3), requires_grad=True) * 2.0
+            with pytest.raises(ValueError, match="scalar"):
+                v.backward()
+            v.backward(np.ones(3))
+
+    def test_grad_shape_mismatch_raises(self):
+        with Tape() as tape:
+            v = tape.leaf(np.ones(3), requires_grad=True) * 2.0
+            with pytest.raises(ValueError, match="shape"):
+                v.backward(np.ones(4))
+
+
+class TestDerivedLinearMaps:
+    def test_get_vjp_matches_backward(self):
+        p = Parameter(np.arange(1.0, 4.0))
+        with Tape() as tape:
+            v = tape.lift(p)
+            loss = (v * v).sum()
+            vjp = tape.get_vjp(loss, [p])
+            (g,) = vjp()
+        np.testing.assert_allclose(g, 2.0 * np.arange(1.0, 4.0))
+
+    def test_get_vjp_zero_when_no_path(self):
+        p = Parameter(np.ones(2))
+        q = Parameter(np.ones(2))
+        with Tape() as tape:
+            v = tape.lift(p)
+            tape.lift(q)  # on the tape but not in the graph
+            loss = v.sum()
+            gp, gq = tape.get_vjp(loss, [p, q])()
+        np.testing.assert_allclose(gp, np.ones(2))
+        np.testing.assert_allclose(gq, np.zeros(2))
+
+    def test_jvp_consistent_with_vjp(self):
+        # <w, J t> == <J^T w, t> for scalar outputs (w = 1)
+        rng = np.random.default_rng(0)
+        p = Parameter(rng.normal(size=(3,)))
+        t = rng.normal(size=(3,))
+        with Tape() as tape:
+            v = tape.lift(p)
+            loss = (v * v * v).sum()
+            jvp = tape.get_jvp(loss, [p])
+            vjp = tape.get_vjp(loss, [p])
+        forward = float(jvp([t]))
+        (g,) = vjp()
+        np.testing.assert_allclose(forward, float(g @ t), rtol=1e-10)
+
+    def test_jvp_without_kernel_raises(self):
+        p = Parameter(np.ones((2, 2)))
+        with Tape() as tape:
+            v = tape.lift(p)
+            out = v.max()  # max registers no JVP kernel
+            jvp = tape.get_jvp(out, [p])
+        with pytest.raises(NotImplementedError, match="max"):
+            jvp([np.ones((2, 2))])
+
+    def test_jvp_tangent_shape_validated(self):
+        p = Parameter(np.ones(3))
+        with Tape() as tape:
+            v = tape.lift(p)
+            out = (v * 2.0).sum()
+            jvp = tape.get_jvp(out, [p])
+        with pytest.raises(ValueError, match="shape"):
+            jvp([np.ones(4)])

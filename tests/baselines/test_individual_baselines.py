@@ -152,3 +152,37 @@ class TestDymond:
         per_step = tiny_graph.num_temporal_edges / tiny_graph.num_timesteps
         for snap in out:
             assert snap.num_edges <= 2 * per_step + 10
+
+
+class TestBaselineEngines:
+    """The net-training baselines run on both autodiff engines and
+    learn the same model (see docs/training.md)."""
+
+    @pytest.fixture
+    def walk_graph(self):
+        cfg = CoEvolutionConfig(
+            num_nodes=20, num_timesteps=4, num_attributes=1,
+            edges_per_step=50, num_communities=2, persistence=0.5,
+        )
+        return generate_co_evolving_graph(cfg, seed=3)
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (GRAN, dict(epochs=3)),
+            (TIGGER, dict(epochs=1)),
+            (TGGAN, dict(adversarial_rounds=1, disc_epochs=3)),
+        ],
+    )
+    def test_engines_generate_identically(self, walk_graph, cls, kwargs):
+        outs = {}
+        for engine in ("tape", "legacy"):
+            gen = cls(engine=engine, seed=4, **kwargs).fit(walk_graph)
+            outs[engine] = gen.generate(3, seed=9)
+        for a, b in zip(outs["tape"], outs["legacy"]):
+            np.testing.assert_array_equal(a.adjacency, b.adjacency)
+
+    def test_engine_round_trips_through_config(self):
+        gen = TIGGER(engine="legacy")
+        rebuilt = TIGGER.from_config(**gen.to_config())
+        assert rebuilt.engine == "legacy"

@@ -118,3 +118,29 @@ class TestNoGradFastPath:
         for t in created:
             assert not t.requires_grad
             assert t._parents == ()
+
+    def test_generate_inside_tape_records_nothing(self):
+        """Generation respects no_grad even with a training tape open:
+        an interleaved rollout must not append a single record to it."""
+        from repro.autodiff import Tape
+
+        cfg = VRDAGConfig(
+            num_nodes=10,
+            num_attributes=2,
+            hidden_dim=8,
+            latent_dim=4,
+            encode_dim=8,
+            seed=0,
+        )
+        model = VRDAG(cfg)
+        with Tape() as tape:
+            model.generate(num_timesteps=2, seed=1)
+        assert len(tape) == 0
+
+    def test_sample_inside_tape_records_nothing(self, sampler, states):
+        from repro.autodiff import Tape
+
+        with Tape() as tape:
+            sampler.sample(states, np.random.default_rng(0))
+            sampler.edge_probabilities(states)
+        assert len(tape) == 0

@@ -234,6 +234,33 @@ class TestCLI:
         assert rc == 2
         assert "nope.npz" in capsys.readouterr().err
 
+    def test_train_profile_prints_tape_timers(self, tmp_path, capsys):
+        model_path = str(tmp_path / "m.npz")
+        rc = main([
+            "train", "--dataset", "email", "--scale", "0.012",
+            "--epochs", "2", "--hidden-dim", "8", "--latent-dim", "4",
+            "--profile", "--engine", "tape",
+            "--model-out", model_path,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trainer.forward" in out
+        assert "trainer.backward" in out
+        # per-op tape timers from the profiled fit
+        assert "tape.op." in out
+        assert "tape.vjp." in out
+
+    def test_train_engine_flag_on_non_nn_generator_fails(
+        self, tmp_path, capsys
+    ):
+        rc = main([
+            "train", "--dataset", "email", "--scale", "0.012",
+            "--generator", "GenCAT", "--engine", "tape",
+            "--model-out", str(tmp_path / "m.npz"),
+        ])
+        assert rc == 2
+        assert "--engine" in capsys.readouterr().err
+
     def _save_workload_graph(self, tmp_path):
         import numpy as np
 
