@@ -544,7 +544,7 @@ def bench_api(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
 def bench_workloads(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     """Query serving: batched kernels + QueryService vs per-query dispatch.
 
-    Two entries over a Table-I-shaped store-backed graph and a
+    Three entries over a Table-I-shaped store-backed graph and a
     point-lookup-heavy serving mix (``serving_mix()``):
 
     - ``workloads.batched_queries`` — one workload replayed through
@@ -557,6 +557,12 @@ def bench_workloads(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
       and the ``service`` sub-dict records the full queries/sec
       curve.  Batched serving must beat per-query dispatch — the run
       asserts it.
+    - ``workloads.batched_traversals`` — the frontier-vectorized BFS
+      kernels (``batch_two_hop`` / ``batch_temporal_reach``) vs their
+      per-query reference twins, one ``kinds`` sub-dict per traversal
+      class.  Parity and zero dense materializations are asserted
+      before timing; at full scale each kind must clear a 5x speedup
+      floor.
     """
     from repro.graph.store import (
         TemporalEdgeStore,
@@ -642,6 +648,58 @@ def bench_workloads(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
         "reference_s": per_query_s,
         "vectorized_s": best_wall,
         "service": curve,
+    }
+
+    # -- frontier-vectorized traversals: batched BFS vs per-query BFS
+    nodes = rng.integers(0, n, size=n_q)
+    hop_ts = rng.integers(0, t_len, size=n_q)
+    src = rng.integers(0, n, size=n_q)
+    dst = rng.integers(0, n, size=n_q)
+    t0 = rng.integers(0, t_len, size=n_q)
+    t1 = np.minimum(t0 + rng.integers(0, t_len, size=n_q), t_len - 1)
+    per_kind = {
+        "two_hop": (
+            lambda: engine.batch_two_hop(nodes, hop_ts),
+            lambda: engine._reference_batch_two_hop(nodes, hop_ts),
+        ),
+        "temporal_reach": (
+            lambda: engine.batch_temporal_reach(src, dst, t0, t1),
+            lambda: engine._reference_batch_temporal_reach(src, dst, t0, t1),
+        ),
+    }
+    kinds: Dict[str, Dict[str, float]] = {}
+    for name, (fast, ref) in per_kind.items():
+        with track_dense_materializations() as materialized:
+            fast_out = fast()
+            ref_out = ref()
+        assert np.array_equal(fast_out, ref_out), (
+            f"batched {name} parity violated"
+        )
+        assert materialized() == 0, (
+            f"batched {name} touched a dense adjacency"
+        )
+        fast_s = _best_of(fast, repeats)
+        ref_s = _best_of(ref, repeats)
+        speedup = ref_s / fast_s if fast_s else float("inf")
+        # the headline claim: frontier-vectorized BFS answers whole
+        # batches >= 5x faster than the per-query loop at bench scale
+        # (the quick CI shape only has to stay ahead, not 5x ahead)
+        floor = 1.0 if quick else 5.0
+        assert speedup >= floor, (
+            f"batched {name} speedup {speedup:.1f}x below {floor:.0f}x floor"
+        )
+        kinds[name] = {
+            "reference_s": ref_s,
+            "vectorized_s": fast_s,
+            "speedup": speedup,
+        }
+    out["workloads.batched_traversals"] = {
+        "n": n,
+        "edges": m,
+        "num_queries": n_q,
+        "reference_s": sum(k["reference_s"] for k in kinds.values()),
+        "vectorized_s": sum(k["vectorized_s"] for k in kinds.values()),
+        "kinds": kinds,
     }
     return out
 

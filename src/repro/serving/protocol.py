@@ -13,8 +13,10 @@ dispatch, result return) is array-at-a-time:
 * no pickling of ``Query`` objects (enum + tuple pickle per query
   would cost more than the query itself at 1M q/s);
 * the worker feeds masked column selections *directly* into the
-  ``batch_*`` kernels — no per-query Python on the worker hot path
-  for batched classes;
+  ``batch_*`` kernels — including the frontier-vectorized traversal
+  kernels (``batch_two_hop`` / ``batch_temporal_reach``) — so no
+  per-query Python runs on the worker hot path for batched classes
+  (only the per-snapshot analytics kinds decode per query);
 * results come back as one int64 cardinality column, in query order.
 
 Column layout (all length ``n``):
@@ -215,6 +217,12 @@ def _dispatch_columns(
         return engine.batch_attribute_range_counts(
             enc.ts[idx], enc.a0[idx], enc.f0[idx], enc.f1[idx]
         )
+    if kind == QueryKind.TWO_HOP:
+        return engine.batch_two_hop(enc.a0[idx], enc.ts[idx], enc.a1[idx])
+    if kind == QueryKind.TEMPORAL_REACH:
+        return engine.batch_temporal_reach(
+            enc.a0[idx], enc.a1[idx], enc.a2[idx], enc.a3[idx]
+        ).astype(np.int64)
     raise AssertionError(kind)  # pragma: no cover - guarded by caller
 
 

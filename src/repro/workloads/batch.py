@@ -6,11 +6,14 @@ module is the bulk twin: a mixed workload is grouped by query class,
 each batchable class is answered with **one** vectorized kernel call
 (:meth:`~repro.workloads.engine.GraphQueryEngine.batch_degrees`,
 :meth:`~repro.workloads.engine.GraphQueryEngine.batch_has_edge`,
-:meth:`~repro.workloads.engine.GraphQueryEngine.batch_edge_window_counts`),
-and the classes without a columnar form (k-hop expansion, temporal
-reachability, per-snapshot analytics) fall back to the per-query path.
-Result cardinalities are bit-identical to the per-query loop in query
-order — only the dispatch cost changes.
+:meth:`~repro.workloads.engine.GraphQueryEngine.batch_edge_window_counts`,
+:meth:`~repro.workloads.engine.GraphQueryEngine.batch_two_hop`,
+:meth:`~repro.workloads.engine.GraphQueryEngine.batch_temporal_reach`),
+and only the per-snapshot analytics classes (``TRIANGLE_COUNT``,
+``DEGREE_TOPK`` — one whole-snapshot kernel per query by nature) fall
+back to the per-query path.  Result cardinalities are bit-identical
+to the per-query loop in query order — only the dispatch cost
+changes.
 
 This is the execution core of
 :class:`~repro.workloads.service.QueryService`; it is also usable
@@ -49,8 +52,11 @@ __all__ = [
     "execute_workload_batched",
 ]
 
-#: Query classes answered by a vectorized kernel; the rest take the
-#: per-query fallback inside :func:`run_queries_batched`.
+#: Query classes answered by a vectorized kernel.  Only the
+#: per-snapshot analytics classes (``TRIANGLE_COUNT``,
+#: ``DEGREE_TOPK``) take the per-query fallback inside
+#: :func:`run_queries_batched` — each of those is one whole-snapshot
+#: kernel per query by nature, so there is no batch to vectorize.
 BATCHED_KINDS = frozenset(
     {
         QueryKind.OUT_NEIGHBORS,
@@ -58,6 +64,8 @@ BATCHED_KINDS = frozenset(
         QueryKind.HAS_EDGE,
         QueryKind.EDGE_WINDOW,
         QueryKind.ATTRIBUTE_RANGE,
+        QueryKind.TWO_HOP,
+        QueryKind.TEMPORAL_REACH,
     }
 )
 
@@ -89,6 +97,17 @@ def _dispatch_kind(
         lo = np.fromiter((q.args[1] for q in group), np.float64, len(group))
         hi = np.fromiter((q.args[2] for q in group), np.float64, len(group))
         return engine.batch_attribute_range_counts(ts, dims, lo, hi)
+    if kind == QueryKind.TWO_HOP:
+        nodes = np.fromiter((q.args[0] for q in group), np.int64, len(group))
+        ks = np.fromiter((q.args[1] for q in group), np.int64, len(group))
+        ts = np.fromiter((q.t for q in group), np.int64, len(group))
+        return engine.batch_two_hop(nodes, ts, ks)
+    if kind == QueryKind.TEMPORAL_REACH:
+        src = np.fromiter((q.args[0] for q in group), np.int64, len(group))
+        dst = np.fromiter((q.args[1] for q in group), np.int64, len(group))
+        t0 = np.fromiter((q.args[2] for q in group), np.int64, len(group))
+        t1 = np.fromiter((q.args[3] for q in group), np.int64, len(group))
+        return engine.batch_temporal_reach(src, dst, t0, t1).astype(np.int64)
     raise AssertionError(kind)  # pragma: no cover - guarded by caller
 
 

@@ -14,10 +14,17 @@ reachability — in two dispatch styles:
 * **Batched kernels** (:meth:`~GraphQueryEngine.batch_degrees`,
   :meth:`~GraphQueryEngine.batch_neighbors`,
   :meth:`~GraphQueryEngine.batch_has_edge`,
-  :meth:`~GraphQueryEngine.batch_edge_window_counts`): whole query
+  :meth:`~GraphQueryEngine.batch_edge_window_counts`,
+  :meth:`~GraphQueryEngine.batch_two_hop`,
+  :meth:`~GraphQueryEngine.batch_temporal_reach`): whole query
   *columns* — parallel arrays of nodes/timesteps — answered in bulk
   with ``searchsorted``/CSR slicing on the store, bit-identical to the
-  per-query loop at a fraction of the dispatch cost.  This is the
+  per-query loop at a fraction of the dispatch cost.  The traversal
+  kernels run frontier-vectorized multi-source BFS: one packed
+  ``query_id * N + node`` key array carries every query's frontier
+  per level (deduplicated against a flat visited bitmap over the same
+  key space), so a whole batch of reachability queries advances in a
+  handful of ``np.repeat``/bitmap kernel passes.  This is the
   high-throughput serving path
   (:class:`~repro.workloads.service.QueryService` rides it).
 
@@ -53,6 +60,54 @@ def _as_query_column(values, name: str) -> np.ndarray:
     if arr.ndim != 1:
         raise ValueError(f"{name} must be one-dimensional")
     return arr
+
+
+def _expand_frontier(
+    keys: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """One BFS level for a whole batch: expand packed frontier keys.
+
+    ``keys`` are packed ``query_id * n + node`` int64 keys (the
+    per-query node namespaces stay disjoint, so one flat array carries
+    every query's frontier at once).  Each key's node is expanded
+    through the CSR plan with ``np.repeat`` over its indptr slice;
+    the result is the packed key array of all (query, neighbour)
+    pairs, duplicates included — callers deduplicate against a flat
+    visited bitmap indexed by the same packed keys.
+    """
+    nodes = keys % n
+    starts = indptr[nodes]
+    lens = indptr[nodes + 1] - starts
+    total = int(lens.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    # per-element offset within its own source row, 0..len-1
+    intra = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lens) - lens, lens
+    )
+    return np.repeat(keys - nodes, lens) + indices[
+        np.repeat(starts, lens) + intra
+    ]
+
+
+def _dedup_keys(keys: np.ndarray) -> np.ndarray:
+    """Sorted-unique of packed keys, in place.
+
+    ``np.unique``'s hash path costs far more than an in-place sort on
+    the small per-level frontiers the BFS kernels produce; this is the
+    classic sort-then-diff form (and the BFS level order never depends
+    on frontier order, so sorting in place is free).
+    """
+    if keys.size <= 1:
+        return keys
+    keys.sort()
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
 
 
 class GraphQueryEngine:
@@ -245,6 +300,14 @@ class GraphQueryEngine:
             seen |= frontier
         seen.discard(v)
         return seen
+
+    def two_hop_neighbors(self, v: int, t: int) -> Set[int]:
+        """Nodes within two directed hops of ``v`` at ``t`` (``v`` excluded).
+
+        The TWO_HOP workload class; equivalent to ``k_hop(v, t, 2)``
+        and the per-query twin of :meth:`batch_two_hop`.
+        """
+        return self.k_hop(v, t, 2)
 
     # ------------------------------------------------------------------
     # pattern / analytic queries
@@ -521,6 +584,132 @@ class GraphQueryEngine:
             ) - np.searchsorted(sorted_vals, lo[sel], side="left")
         return out
 
+    # ------------------------------------------------------------------
+    # batched traversal kernels (frontier-vectorized multi-source BFS)
+    # ------------------------------------------------------------------
+    # Both kernels share one frontier representation: a flat int64
+    # array of packed ``query_id * N + node`` keys carrying EVERY
+    # query's frontier for the current level.  A level is one
+    # ``np.repeat`` expansion over CSR indptr slices followed by a
+    # dedup against a flat visited bitmap indexed by the same packed
+    # keys — so a whole batch advances in a handful of kernel passes
+    # with zero per-query Python.  Per-query state (visited sets,
+    # remaining hop budgets, time windows) lives in the key packing,
+    # the bitmap, and boolean masks, never in Python sets.
+
+    def batch_two_hop(self, nodes, ts, ks=2) -> np.ndarray:
+        """Nodes within ``ks[i]`` directed hops of ``nodes[i]`` at ``ts[i]``.
+
+        The counting form of :meth:`two_hop_neighbors` /
+        :meth:`k_hop` (cardinality only, source excluded), answered
+        for the whole batch by frontier-vectorized multi-source BFS.
+        ``ks`` broadcasts a scalar hop count (default 2, the TWO_HOP
+        workload class) or accepts one hop budget per query; queries
+        sharing a timestep share CSR plan lookups and kernel passes
+        regardless of batch size.
+        """
+        nodes = _as_query_column(nodes, "nodes")
+        ts = _as_query_column(ts, "ts")
+        ks = np.asarray(ks, dtype=np.int64)
+        if ks.ndim == 0:
+            ks = np.full(nodes.size, int(ks), dtype=np.int64)
+        if ks.ndim != 1:
+            raise ValueError("ks must be one-dimensional")
+        if not (nodes.size == ts.size == ks.size):
+            raise ValueError(
+                f"column lengths differ: {nodes.size}/{ts.size}/{ks.size}"
+            )
+        self._check_columns({"nodes": nodes}, {"ts": ts})
+        if ks.size and ks.min() < 0:
+            raise ValueError("k must be >= 0")
+        out = np.zeros(nodes.size, dtype=np.int64)
+        n = self.graph.num_nodes
+        for t, sel in self._timestep_groups(ts):
+            indptr, indices = self.plans.csr(t)
+            # packed (local query, node) keys; local qids are distinct
+            # per group, so sources stay disjoint even when node /
+            # timestep repeat across queries.  The visited set is a
+            # flat bitmap over the same key space: O(1) membership, no
+            # sorted merges on the hot path.
+            group_ks = ks[sel]
+            keys = np.arange(sel.size, dtype=np.int64) * n + nodes[sel]
+            visited = np.zeros(sel.size * n, dtype=bool)
+            visited[keys] = True
+            frontier = keys
+            max_k = int(group_ks.max())
+            level = 0
+            while frontier.size and level < max_k:
+                level += 1
+                # queries whose hop budget is spent stop expanding
+                active = frontier[group_ks[frontier // n] >= level]
+                if not active.size:
+                    break
+                nxt = _expand_frontier(active, indptr, indices, n)
+                fresh = nxt[~visited[nxt]] if nxt.size else nxt
+                if not fresh.size:
+                    break
+                visited[fresh] = True
+                frontier = _dedup_keys(fresh)
+            counts = visited.reshape(-1, n).sum(axis=1, dtype=np.int64)
+            out[sel] = counts - 1  # visited includes the source
+        return out
+
+    def batch_temporal_reach(self, src, dst, t0, t1) -> np.ndarray:
+        """Time-respecting reachability of ``src[i] -> dst[i]`` over
+        ``[t0[i], t1[i]]``, one bool per query.
+
+        The batched twin of :meth:`temporal_reachable`: the same
+        packed-key frontier advances across timesteps — level ``t``
+        expands every in-window unresolved query's reached set to
+        saturation against timestep ``t``'s CSR plan before moving to
+        ``t + 1`` — so queries with overlapping windows share plan
+        lookups and kernel passes.  Resolved queries (target reached,
+        or ``src == dst``) drop out of the frontier immediately.
+        """
+        src = _as_query_column(src, "src")
+        dst = _as_query_column(dst, "dst")
+        t0 = _as_query_column(t0, "t0")
+        t1 = _as_query_column(t1, "t1")
+        if not (src.size == dst.size == t0.size == t1.size):
+            raise ValueError(
+                f"column lengths differ: "
+                f"{src.size}/{dst.size}/{t0.size}/{t1.size}"
+            )
+        self._check_columns(
+            {"src": src, "dst": dst}, {"t0": t0, "t1": t1}
+        )
+        if np.any(t1 < t0):
+            raise ValueError("empty time window: t1 < t0")
+        out = src == dst
+        if not src.size or out.all():
+            return out
+        n = self.graph.num_nodes
+        qid_base = np.arange(src.size, dtype=np.int64) * n
+        # flat visited bitmap over the packed (query, node) key space:
+        # O(1) membership for dedup and the final target probe
+        visited = np.zeros(src.size * n, dtype=bool)
+        visited[qid_base + src] = True
+        targets = qid_base + dst
+        for t in range(int(t0.min()), int(t1.max()) + 1):
+            active = np.flatnonzero(~out & (t0 <= t) & (t <= t1))
+            if not active.size:
+                continue
+            indptr, indices = self.plans.csr(t)
+            # each snapshot's edges are concurrent: restart the
+            # frontier from everything the active queries have
+            # reached, then expand to fixpoint within the step
+            rows, cols = np.nonzero(visited.reshape(-1, n)[active])
+            frontier = active[rows] * n + cols
+            while frontier.size:
+                nxt = _expand_frontier(frontier, indptr, indices, n)
+                fresh = nxt[~visited[nxt]] if nxt.size else nxt
+                if not fresh.size:
+                    break
+                visited[fresh] = True
+                frontier = _dedup_keys(fresh)
+            out[active] = visited[targets[active]]
+        return out
+
     def _timestep_groups(self, ts: np.ndarray):
         """Yield ``(t, index_array)`` per distinct timestep in ``ts``.
 
@@ -617,4 +806,35 @@ class GraphQueryEngine:
                 )
             ],
             dtype=np.int64,
+        ).reshape(-1)
+
+    def _reference_batch_two_hop(self, nodes, ts, ks=2) -> np.ndarray:
+        nodes = _as_query_column(nodes, "nodes")
+        ts = _as_query_column(ts, "ts")
+        ks = np.asarray(ks, dtype=np.int64)
+        if ks.ndim == 0:
+            ks = np.full(nodes.size, int(ks), dtype=np.int64)
+        return np.asarray(
+            [
+                len(self.k_hop(v, t, k))
+                for v, t, k in zip(
+                    nodes.tolist(), ts.tolist(), ks.tolist()
+                )
+            ],
+            dtype=np.int64,
+        ).reshape(-1)
+
+    def _reference_batch_temporal_reach(self, src, dst, t0, t1) -> np.ndarray:
+        src = _as_query_column(src, "src")
+        dst = _as_query_column(dst, "dst")
+        t0 = _as_query_column(t0, "t0")
+        t1 = _as_query_column(t1, "t1")
+        return np.asarray(
+            [
+                self.temporal_reachable(u, v, a, b)
+                for u, v, a, b in zip(
+                    src.tolist(), dst.tolist(), t0.tolist(), t1.tolist()
+                )
+            ],
+            dtype=bool,
         ).reshape(-1)

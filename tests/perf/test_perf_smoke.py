@@ -119,3 +119,36 @@ class TestPerfSmoke:
             lambda: run_queries_batched(engine, queries),
             lambda: [_run_query(engine, q) for q in queries],
         )
+
+    def test_batched_traversals(self):
+        from repro.graph import DynamicAttributedGraph
+        from repro.graph.store import TemporalEdgeStore
+        from repro.workloads import GraphQueryEngine
+
+        rng = np.random.default_rng(4)
+        n, m, t_len = 150, 1500, 6
+        graph = DynamicAttributedGraph.from_store(TemporalEdgeStore(
+            n, t_len,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.integers(0, t_len, size=m),
+            None,
+        ))
+        engine = GraphQueryEngine(graph)
+        n_q = 400
+        nodes = rng.integers(0, n, size=n_q)
+        ts = rng.integers(0, t_len, size=n_q)
+        src = rng.integers(0, n, size=n_q)
+        dst = rng.integers(0, n, size=n_q)
+        t0 = rng.integers(0, t_len, size=n_q)
+        t1 = np.minimum(t0 + rng.integers(0, t_len, size=n_q), t_len - 1)
+        engine.batch_two_hop(nodes[:1], ts[:1])  # warm the plans
+
+        _assert_not_slower(
+            lambda: engine.batch_two_hop(nodes, ts),
+            lambda: engine._reference_batch_two_hop(nodes, ts),
+        )
+        _assert_not_slower(
+            lambda: engine.batch_temporal_reach(src, dst, t0, t1),
+            lambda: engine._reference_batch_temporal_reach(src, dst, t0, t1),
+        )

@@ -199,7 +199,9 @@ class TestWorkloadBatchedExecution:
         assert set(seconds) == {q.kind.value for q in queries}
 
     def test_full_default_mix_with_fallback_kinds(self, engine):
-        """Kinds without kernels (two_hop, reach, ...) fall back correctly."""
+        """The per-snapshot analytics kinds (triangle_count,
+        degree_topk) — the only ones left without kernels — fall back
+        correctly inside a full default mix."""
         queries = self.make_queries(
             engine.graph, mix=WorkloadConfig().mix, n=200
         )

@@ -94,6 +94,60 @@ class TestKernelDegradation:
             np.testing.assert_array_equal(result.cardinalities, expected)
 
 
+class TestTraversalKernelDegradation:
+    """The frontier-vectorized traversal kernels degrade like every
+    other batched class: a ``query.batch_kernel`` fault sends
+    TWO_HOP / TEMPORAL_REACH back to their per-query reference twins
+    with bit-identical results, and the degradation is reported."""
+
+    TRAVERSAL_KINDS = {"two_hop", "temporal_reach"}
+
+    @pytest.fixture(scope="class")
+    def traversal_workload(self, graph):
+        from repro.workloads import QueryKind
+
+        config = WorkloadConfig(
+            num_queries=90,
+            mix={QueryKind.TWO_HOP: 0.5, QueryKind.TEMPORAL_REACH: 0.5},
+            seed=9,
+        )
+        queries = WorkloadGenerator(graph, config).generate()
+        requests = [
+            QueryRequest(queries[i:i + 30]) for i in range(0, 90, 30)
+        ]
+        with QueryService(graph, executor="serial") as svc:
+            clean = svc.run_batch(requests)
+        assert all(r.ok for r in clean)
+        assert all(r.degraded_kinds == frozenset() for r in clean)
+        return requests, [r.cardinalities.copy() for r in clean]
+
+    @pytest.mark.parametrize("executor,workers", [("serial", 1), ("thread", 3)])
+    def test_traversal_kinds_degrade_bit_identically(
+        self, graph, traversal_workload, executor, workers
+    ):
+        requests, reference = traversal_workload
+        with fault_injector.arm({"query.batch_kernel": FaultPlan()}):
+            with QueryService(
+                graph, executor=executor, max_workers=workers
+            ) as svc:
+                results = svc.run_batch(requests)
+        assert all(r.ok for r in results)
+        for result in results:
+            assert self.TRAVERSAL_KINDS <= set(result.degraded_kinds)
+        for result, expected in zip(results, reference):
+            np.testing.assert_array_equal(result.cardinalities, expected)
+
+    def test_resilient_loop_degrades_traversals(self, graph, traversal_workload):
+        requests, reference = traversal_workload
+        engine = GraphQueryEngine(graph)
+        queries = [q for r in requests for q in r.queries]
+        expected = np.concatenate(reference)
+        with fault_injector.arm({"query.batch_kernel": FaultPlan()}):
+            cards, _, degraded = run_queries_resilient(engine, queries)
+        assert self.TRAVERSAL_KINDS <= set(degraded)
+        np.testing.assert_array_equal(cards, expected)
+
+
 class TestCacheDegradation:
     def test_cache_fault_bypasses_without_changing_results(
         self, graph, requests, reference

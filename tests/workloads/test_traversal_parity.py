@@ -1,0 +1,363 @@
+"""Randomized traversal-parity harness for the frontier-vectorized
+batched BFS kernels.
+
+The contract under test (docs/workloads.md): ``batch_two_hop`` and
+``batch_temporal_reach`` are bit-identical to their
+``_reference_batch_*`` per-query twins *and* to the scalar engine
+methods (``two_hop_neighbors`` / ``k_hop`` / ``temporal_reachable``),
+for random stores × random query batches, across every executor
+(serial / thread / process) and the live epoch-pinned path — with
+zero dense materializations throughout.
+
+Randomization follows the ``REPRO_CHAOS_SEED`` convention: every
+store, column and workload below is a pure function of the seed
+(default 0), so a CI failure reproduces locally with the same
+environment variable.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.dynamic import DynamicAttributedGraph
+from repro.graph.live import LiveStoreBuilder
+from repro.graph.store import (
+    TemporalEdgeStore,
+    track_dense_materializations,
+)
+from repro.workloads import (
+    BATCHED_KINDS,
+    GraphQueryEngine,
+    LiveQueryService,
+    Query,
+    QueryKind,
+    QueryRequest,
+    QueryService,
+    WorkloadConfig,
+    WorkloadGenerator,
+    run_queries_batched,
+)
+from repro.workloads.generator import _run_query
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+#: Derived per-case seeds: distinct streams per round, all anchored
+#: to the one chaos seed.
+ROUNDS = [CHAOS_SEED * 1009 + i for i in range(4)]
+
+#: A traversal-heavy mix: the two BFS classes dominate, with a sliver
+#: of point lookups so grouped dispatch interleaves kernel classes.
+TRAVERSAL_MIX = {
+    QueryKind.TWO_HOP: 0.45,
+    QueryKind.TEMPORAL_REACH: 0.45,
+    QueryKind.OUT_NEIGHBORS: 0.10,
+}
+
+
+def random_engine(seed, n=None, m=None, t_len=None):
+    rng = np.random.default_rng(seed)
+    n = n or int(rng.integers(5, 70))
+    t_len = t_len or int(rng.integers(1, 7))
+    m = m if m is not None else int(rng.integers(0, 8 * n))
+    store = TemporalEdgeStore(
+        n, t_len,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.integers(0, t_len, size=m),
+        rng.normal(size=(t_len, n, 2)),
+    )
+    return GraphQueryEngine(DynamicAttributedGraph.from_store(store))
+
+
+def traversal_columns(engine, seed, size=160):
+    rng = np.random.default_rng(seed)
+    n = engine.graph.num_nodes
+    t_len = engine.graph.num_timesteps
+    nodes = rng.integers(0, n, size=size)
+    ts = rng.integers(0, t_len, size=size)
+    ks = rng.integers(0, 4, size=size)
+    src = rng.integers(0, n, size=size)
+    dst = rng.integers(0, n, size=size)
+    t0 = rng.integers(0, t_len, size=size)
+    t1 = np.minimum(t0 + rng.integers(0, t_len, size=size), t_len - 1)
+    return nodes, ts, ks, src, dst, t0, t1
+
+
+class TestRandomizedKernelParity:
+    """batched == reference twin == scalar methods, per random round."""
+
+    @pytest.mark.parametrize("seed", ROUNDS)
+    def test_two_hop_three_way_parity(self, seed):
+        engine = random_engine(seed)
+        nodes, ts, ks, *_ = traversal_columns(engine, seed + 1)
+        with track_dense_materializations() as materialized:
+            got = engine.batch_two_hop(nodes, ts, ks)
+            twin = engine._reference_batch_two_hop(nodes, ts, ks)
+        assert materialized() == 0
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, twin)
+        scalar = [
+            len(engine.k_hop(v, t, k))
+            for v, t, k in zip(nodes.tolist(), ts.tolist(), ks.tolist())
+        ]
+        np.testing.assert_array_equal(got, scalar)
+
+    @pytest.mark.parametrize("seed", ROUNDS)
+    def test_two_hop_default_k_matches_two_hop_neighbors(self, seed):
+        engine = random_engine(seed)
+        nodes, ts, *_ = traversal_columns(engine, seed + 2, size=60)
+        got = engine.batch_two_hop(nodes, ts)  # scalar ks=2 broadcast
+        scalar = [
+            len(engine.two_hop_neighbors(v, t))
+            for v, t in zip(nodes.tolist(), ts.tolist())
+        ]
+        np.testing.assert_array_equal(got, scalar)
+
+    @pytest.mark.parametrize("seed", ROUNDS)
+    def test_temporal_reach_three_way_parity(self, seed):
+        engine = random_engine(seed)
+        _, _, _, src, dst, t0, t1 = traversal_columns(engine, seed + 3)
+        with track_dense_materializations() as materialized:
+            got = engine.batch_temporal_reach(src, dst, t0, t1)
+            twin = engine._reference_batch_temporal_reach(src, dst, t0, t1)
+        assert materialized() == 0
+        assert got.dtype == bool
+        np.testing.assert_array_equal(got, twin)
+        scalar = [
+            engine.temporal_reachable(u, v, a, b)
+            for u, v, a, b in zip(
+                src.tolist(), dst.tolist(), t0.tolist(), t1.tolist()
+            )
+        ]
+        np.testing.assert_array_equal(got, scalar)
+
+    @pytest.mark.parametrize("seed", ROUNDS)
+    def test_grouped_dispatch_covers_traversals(self, seed):
+        """run_queries_batched answers TWO_HOP / TEMPORAL_REACH via the
+        kernels (they are BATCHED_KINDS now) and stays bit-identical."""
+        engine = random_engine(seed)
+        config = WorkloadConfig(
+            num_queries=200, mix=TRAVERSAL_MIX, seed=seed
+        )
+        queries = WorkloadGenerator(engine.graph, config).generate()
+        assert {q.kind for q in queries} <= BATCHED_KINDS
+        with track_dense_materializations() as materialized:
+            cards, seconds = run_queries_batched(engine, queries)
+        assert materialized() == 0
+        ref = np.array([_run_query(engine, q) for q in queries])
+        np.testing.assert_array_equal(cards, ref)
+        assert set(seconds) == {q.kind.value for q in queries}
+
+
+class TestTraversalEdgeCases:
+    @pytest.fixture()
+    def engine(self):
+        return random_engine(CHAOS_SEED * 7919 + 13, n=30, m=150, t_len=4)
+
+    def test_duplicate_query_ids(self, engine):
+        """The same (node, t) repeated gets per-query-distinct packed
+        keys — duplicates never collapse or cross-contaminate."""
+        nodes = np.array([3, 3, 3, 5, 3])
+        ts = np.array([0, 0, 1, 1, 0])
+        got = engine.batch_two_hop(nodes, ts)
+        np.testing.assert_array_equal(
+            got, engine._reference_batch_two_hop(nodes, ts)
+        )
+        src = np.array([3, 3, 5, 3])
+        dst = np.array([7, 7, 7, 3])
+        t0 = np.zeros(4, dtype=np.int64)
+        t1 = np.full(4, engine.graph.num_timesteps - 1)
+        reach = engine.batch_temporal_reach(src, dst, t0, t1)
+        np.testing.assert_array_equal(
+            reach, engine._reference_batch_temporal_reach(src, dst, t0, t1)
+        )
+        assert reach[0] == reach[1]  # identical queries, identical answer
+        assert reach[3]  # src == dst is always reachable
+
+    def test_empty_batch(self, engine):
+        empty = np.zeros(0, dtype=np.int64)
+        assert engine.batch_two_hop(empty, empty, empty).size == 0
+        out = engine.batch_temporal_reach(empty, empty, empty, empty)
+        assert out.size == 0 and out.dtype == bool
+
+    def test_empty_frontier_zero_hops(self, engine):
+        """k = 0 queries never expand: the source-only frontier is
+        filtered out before the first level."""
+        nodes = np.array([0, 1, 2])
+        ts = np.zeros(3, dtype=np.int64)
+        got = engine.batch_two_hop(nodes, ts, np.array([0, 0, 2]))
+        assert got[0] == 0 and got[1] == 0
+        assert got[2] == len(engine.two_hop_neighbors(2, 0))
+
+    def test_isolated_nodes(self):
+        """Nodes with no edges: two-hop counts 0, reachability only to
+        themselves (the empty-frontier path of the shared kernel)."""
+        store = TemporalEdgeStore(
+            6, 3,
+            np.array([0, 1]), np.array([1, 2]), np.array([0, 1]), None,
+        )
+        engine = GraphQueryEngine(DynamicAttributedGraph.from_store(store))
+        isolated = np.array([3, 4, 5])
+        ts = np.zeros(3, dtype=np.int64)
+        np.testing.assert_array_equal(
+            engine.batch_two_hop(isolated, ts), [0, 0, 0]
+        )
+        reach = engine.batch_temporal_reach(
+            isolated, np.array([0, 4, 0]),
+            np.zeros(3, dtype=np.int64), np.full(3, 2),
+        )
+        np.testing.assert_array_equal(reach, [False, True, False])
+
+    def test_edgeless_store(self):
+        store = TemporalEdgeStore(
+            4, 2, np.zeros(0, int), np.zeros(0, int), np.zeros(0, int), None
+        )
+        engine = GraphQueryEngine(DynamicAttributedGraph.from_store(store))
+        nodes = np.array([0, 1, 2, 3])
+        ts = np.array([0, 0, 1, 1])
+        np.testing.assert_array_equal(
+            engine.batch_two_hop(nodes, ts), [0, 0, 0, 0]
+        )
+        reach = engine.batch_temporal_reach(
+            nodes, nodes[::-1].copy(), np.zeros(4, int), np.ones(4, int)
+        )
+        np.testing.assert_array_equal(reach, [False, False, False, False])
+
+    def test_out_of_range_rejected(self, engine):
+        n = engine.graph.num_nodes
+        t_len = engine.graph.num_timesteps
+        with pytest.raises(IndexError, match="timesteps out of range"):
+            engine.batch_two_hop([0], [t_len])
+        with pytest.raises(IndexError, match="node ids out of range"):
+            engine.batch_two_hop([n], [0])
+        with pytest.raises(IndexError, match="timesteps out of range"):
+            engine.batch_temporal_reach([0], [1], [0], [t_len])
+        with pytest.raises(IndexError, match="node ids out of range"):
+            engine.batch_temporal_reach([-1], [0], [0], [0])
+
+    def test_negative_k_rejected(self, engine):
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            engine.batch_two_hop([0, 1], [0, 0], [2, -1])
+
+    def test_inverted_window_rejected(self, engine):
+        with pytest.raises(ValueError, match="t1 < t0"):
+            engine.batch_temporal_reach([0], [1], [2], [1])
+
+    def test_length_mismatch_rejected(self, engine):
+        with pytest.raises(ValueError, match="lengths differ"):
+            engine.batch_two_hop([0, 1], [0])
+        with pytest.raises(ValueError, match="lengths differ"):
+            engine.batch_temporal_reach([0], [1, 2], [0], [0])
+
+
+def _requests(queries, size=40):
+    return [
+        QueryRequest(queries[i:i + size])
+        for i in range(0, len(queries), size)
+    ]
+
+
+class TestExecutorParity:
+    """The same traversal workload is bit-identical on every executor."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        engine = random_engine(CHAOS_SEED * 4241 + 5, n=50, m=400, t_len=5)
+        config = WorkloadConfig(
+            num_queries=240, mix=TRAVERSAL_MIX, seed=CHAOS_SEED + 11
+        )
+        queries = WorkloadGenerator(engine.graph, config).generate()
+        reference = np.array([_run_query(engine, q) for q in queries])
+        return engine.graph, queries, reference
+
+    @pytest.mark.parametrize("executor,workers", [("serial", 1), ("thread", 3)])
+    def test_query_service_executors(self, workload, executor, workers):
+        graph, queries, reference = workload
+        with track_dense_materializations() as materialized:
+            with QueryService(
+                graph, executor=executor, max_workers=workers
+            ) as service:
+                results = service.run_batch(_requests(queries))
+        assert materialized() == 0
+        assert all(r.ok for r in results)
+        assert all(r.degraded_kinds == frozenset() for r in results)
+        flat = np.concatenate([r.cardinalities for r in results])
+        np.testing.assert_array_equal(flat, reference)
+
+    def test_process_executor(self, workload):
+        from repro.serving import ProcessQueryService
+
+        graph, queries, reference = workload
+        with ProcessQueryService(graph, num_workers=2) as tier:
+            results = tier.run_batch(_requests(queries))
+        assert all(r.ok for r in results)
+        flat = np.concatenate([r.cardinalities for r in results])
+        np.testing.assert_array_equal(flat, reference)
+
+
+class TestLiveEpochParity:
+    def test_every_epoch_matches_bulk_oracle(self):
+        """Traversal batches through the live epoch-pinned path equal a
+        bulk-built store of each pinned epoch's sealed prefix."""
+        rng = np.random.default_rng(CHAOS_SEED * 6007 + 3)
+        n, t_len, m = 40, 5, 500
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        t = rng.integers(0, t_len, size=m)
+        attrs = rng.normal(size=(t_len, n, 2))
+        full = TemporalEdgeStore(n, t_len, src, dst, t, attrs)
+        config = WorkloadConfig(
+            num_queries=150, mix=TRAVERSAL_MIX, seed=CHAOS_SEED + 17
+        )
+        queries = WorkloadGenerator(
+            DynamicAttributedGraph.from_store(full), config
+        ).generate()
+        requests = _requests(queries, size=30)
+
+        builder = LiveStoreBuilder(n, t_len, attributes=attrs)
+        order = np.argsort(t, kind="stable")
+        builder.extend(src[order], dst[order], t[order])
+        with LiveQueryService(builder, executor="serial") as service:
+            for _ in range(t_len):
+                builder.seal_step()
+                epoch, results = service.run_batch(requests)
+                assert epoch == builder.epoch
+                keep = t < epoch
+                oracle = GraphQueryEngine(
+                    DynamicAttributedGraph.from_store(TemporalEdgeStore(
+                        n, t_len, src[keep], dst[keep], t[keep], attrs
+                    ))
+                )
+                for request, result in zip(requests, results):
+                    assert result.ok
+                    assert result.degraded_kinds == frozenset()
+                    want = np.array(
+                        [_run_query(oracle, q) for q in request.queries]
+                    )
+                    np.testing.assert_array_equal(
+                        result.cardinalities, want
+                    )
+
+    def test_queries_against_open_steps(self):
+        """Traversals touching unsealed (visible-but-empty) timesteps
+        answer through the open-step CSR plans: empty expansions."""
+        builder = LiveStoreBuilder(8, 4)
+        builder.extend(
+            np.array([0, 1]), np.array([1, 2]), np.array([0, 0])
+        )
+        builder.seal_step()  # epoch 1: t=0 sealed, t=1..3 open
+        with LiveQueryService(builder, executor="serial") as service:
+            queries = [
+                Query(QueryKind.TWO_HOP, 0, (0, 2)),
+                Query(QueryKind.TWO_HOP, 2, (0, 2)),  # open step: empty
+                Query(QueryKind.TEMPORAL_REACH, 0, (0, 2, 0, 3)),
+                Query(QueryKind.TEMPORAL_REACH, 1, (0, 2, 1, 3)),
+            ]
+            epoch, results = service.run_batch([QueryRequest(queries)])
+        assert epoch == 1
+        result = results[0]
+        assert result.ok
+        np.testing.assert_array_equal(
+            result.cardinalities, [2, 0, 1, 0]
+        )
